@@ -1,0 +1,153 @@
+// Ablation study over the design choices DESIGN.md calls out:
+//   1. sh:distinctCount — replaced by the uniformity assumption
+//      (distinctCount := count) to measure what the per-class distinct
+//      object counts contribute.
+//   2. sh:minCount-based DSC — disabled (minCount := 0) so the estimator
+//      cannot infer "every instance has this property".
+//   3. max() vs min() denominator in Equations 1-3 (the classical
+//      System-R-style variant).
+// Reported metric: median q-error over the LUBM workload, plus how often
+// the resulting plan differs from the full-SS plan.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.h"
+#include "sparql/query_graph.h"
+#include "exec/executor.h"
+#include "opt/join_order.h"
+#include "sparql/parser.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace shapestats;
+
+namespace {
+
+// Equation 1-3 with min() instead of max() in the denominator.
+class MinDenominatorProvider : public card::PlannerStatsProvider {
+ public:
+  explicit MinDenominatorProvider(const card::CardinalityEstimator& base)
+      : base_(base) {}
+  std::string name() const override { return "SS-mindenom"; }
+  std::vector<card::TpEstimate> EstimateAll(
+      const sparql::EncodedBgp& bgp) const override {
+    return base_.EstimateAll(bgp);
+  }
+  double EstimateJoin(const sparql::EncodedPattern& a, const card::TpEstimate& ea,
+                      const sparql::EncodedPattern& b,
+                      const card::TpEstimate& eb) const override {
+    auto shared = sparql::SharedVars(a, b);
+    if (shared.empty()) return ea.card * eb.card;
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& sv : shared) {
+      auto side = [](const card::TpEstimate& e, sparql::TermPos pos) {
+        switch (pos) {
+          case sparql::TermPos::kSubject: return e.dsc;
+          case sparql::TermPos::kObject: return e.doc;
+          default: return e.card;
+        }
+      };
+      double denom = std::max(1.0, std::min(side(ea, sv.pos_a), side(eb, sv.pos_b)));
+      best = std::min(best, ea.card * eb.card / denom);
+    }
+    return best;
+  }
+
+ private:
+  const card::CardinalityEstimator& base_;
+};
+
+struct Variant {
+  std::string name;
+  std::vector<double> qerrors;
+  int plan_changes = 0;
+  uint64_t true_cost_sum = 0;
+};
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: which shape statistics matter ===\n");
+  bench::Dataset ds = bench::BuildLubm();
+
+  // Variant shape graphs.
+  shacl::ShapesGraph no_distinct = ds.shapes;  // copy
+  for (auto& ns : *no_distinct.mutable_shapes()) {
+    for (auto& ps : ns.properties) {
+      ps.distinct_count = ps.count;  // uniformity: every object distinct
+    }
+  }
+  shacl::ShapesGraph no_mincount = ds.shapes;
+  for (auto& ns : *no_mincount.mutable_shapes()) {
+    for (auto& ps : ns.properties) ps.min_count = 0;
+  }
+
+  card::CardinalityEstimator full(ds.gs, &ds.shapes, ds.graph.dict(),
+                                  card::StatsMode::kShape);
+  card::CardinalityEstimator ablate_distinct(ds.gs, &no_distinct, ds.graph.dict(),
+                                             card::StatsMode::kShape);
+  card::CardinalityEstimator ablate_min(ds.gs, &no_mincount, ds.graph.dict(),
+                                        card::StatsMode::kShape);
+  MinDenominatorProvider min_denom(full);
+  card::CardinalityEstimator global_only(ds.gs, nullptr, ds.graph.dict(),
+                                         card::StatsMode::kGlobal);
+
+  std::vector<std::pair<std::string, const card::PlannerStatsProvider*>> variants =
+      {{"SS (full)", &full},
+       {"SS w/o distinctCount", &ablate_distinct},
+       {"SS w/o minCount", &ablate_min},
+       {"SS min-denominator", &min_denom},
+       {"GS (no shapes)", &global_only}};
+
+  std::vector<Variant> results(variants.size());
+  auto queries = workload::LubmQueries();
+
+  // Full-SS plans as the reference for plan-change counting.
+  std::vector<std::vector<uint32_t>> reference_orders;
+  for (const auto& q : queries) {
+    auto parsed = sparql::ParseQuery(q.text);
+    auto bgp = sparql::EncodeBgp(*parsed, ds.graph.dict());
+    reference_orders.push_back(opt::PlanJoinOrder(bgp, full).order);
+  }
+
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    results[vi].name = variants[vi].first;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      auto parsed = sparql::ParseQuery(queries[qi].text);
+      auto bgp = sparql::EncodeBgp(*parsed, ds.graph.dict());
+      opt::Plan plan = opt::PlanJoinOrder(bgp, *variants[vi].second);
+      exec::ExecOptions eopts;
+      eopts.max_intermediate_rows = 100'000'000;
+      auto r = exec::ExecuteBgp(ds.graph, bgp, plan.order, eopts);
+      double est = variants[vi].second->EstimateResultCardinality(bgp);
+      results[vi].qerrors.push_back(
+          bench::QError(est, static_cast<double>(r->num_results)));
+      results[vi].true_cost_sum += r->TrueCost();
+      if (plan.order != reference_orders[qi]) results[vi].plan_changes += 1;
+    }
+  }
+
+  TablePrinter table({"variant", "median q-error", "max q-error",
+                      "plans != full SS", "sum true cost"});
+  for (const Variant& v : results) {
+    table.AddRow({v.name, CompactDouble(Median(v.qerrors)),
+                  CompactDouble(*std::max_element(v.qerrors.begin(),
+                                                  v.qerrors.end())),
+                  std::to_string(v.plan_changes) + "/" +
+                      std::to_string(queries.size()),
+                  WithCommas(v.true_cost_sum)});
+  }
+  table.Print();
+  std::printf(
+      "\nReading: removing distinctCount degrades bound-object estimates;\n"
+      "the min() denominator inflates join estimates; GS is the no-shapes\n"
+      "baseline. 'sum true cost' is the executed cost of all chosen plans.\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/lubm.h"
+#include "datagen/watdiv.h"
+#include "datagen/yago.h"
+#include "exec/executor.h"
+#include "opt/join_order.h"
+#include "shacl/generator.h"
+#include "shacl/shapes_io.h"
+#include "sparql/parser.h"
+#include "stats/annotator.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace shapestats::bench {
+
+namespace {
+
+// Shared preprocessing: shapes generation + annotation + global stats +
+// baseline artifacts + estimators.
+void Prepare(Dataset* ds) {
+  ds->gs = stats::GlobalStats::Compute(ds->graph);
+
+  auto shapes = shacl::GenerateShapes(ds->graph);
+  if (!shapes.ok()) {
+    std::fprintf(stderr, "shape generation failed for %s: %s\n",
+                 ds->name.c_str(), shapes.status().ToString().c_str());
+    std::abort();
+  }
+  ds->shapes = std::move(shapes).value();
+  ds->shapes_plain_bytes = shacl::WriteShapesTurtle(ds->shapes).size();
+  auto report = stats::AnnotateShapes(ds->graph, &ds->shapes);
+  ds->annotate_ms = report->elapsed_ms;
+  ds->shapes_extended_bytes = shacl::WriteShapesTurtle(ds->shapes).size();
+
+  auto cs = baselines::CharSetIndex::Build(ds->graph);
+  ds->cs = std::make_unique<baselines::CharSetIndex>(std::move(cs).value());
+  auto sumrdf = baselines::SumRdfSummary::Build(ds->graph);
+  ds->sumrdf = std::make_unique<baselines::SumRdfSummary>(std::move(sumrdf).value());
+
+  ds->gs_est = std::make_unique<card::CardinalityEstimator>(
+      ds->gs, nullptr, ds->graph.dict(), card::StatsMode::kGlobal);
+  ds->ss_est = std::make_unique<card::CardinalityEstimator>(
+      ds->gs, &ds->shapes, ds->graph.dict(), card::StatsMode::kShape);
+  ds->gdb = std::make_unique<baselines::GraphDbLikeProvider>(ds->gs,
+                                                             ds->graph.dict());
+}
+
+}  // namespace
+
+Dataset BuildLubm(uint32_t universities) {
+  Dataset ds;
+  ds.name = "LUBM";
+  datagen::LubmOptions opts;
+  opts.universities = universities;
+  ds.graph = datagen::GenerateLubm(opts);
+  Prepare(&ds);
+  return ds;
+}
+
+Dataset BuildWatDiv(uint32_t products, const char* name) {
+  Dataset ds;
+  ds.name = name;
+  datagen::WatDivOptions opts;
+  opts.products = products;
+  ds.graph = datagen::GenerateWatDiv(opts);
+  Prepare(&ds);
+  return ds;
+}
+
+Dataset BuildYago(uint32_t entities) {
+  Dataset ds;
+  ds.name = "YAGO";
+  datagen::YagoOptions opts;
+  opts.num_entities = entities;
+  ds.graph = datagen::GenerateYago(opts);
+  Prepare(&ds);
+  return ds;
+}
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kSS: return "SS";
+    case Approach::kGS: return "GS";
+    case Approach::kJena: return "Jena";
+    case Approach::kGDB: return "GDB";
+    case Approach::kCS: return "CS";
+    case Approach::kSumRDF: return "SumRDF";
+  }
+  return "?";
+}
+
+const std::vector<Approach>& AllApproaches() {
+  static const std::vector<Approach> all = {Approach::kSS,   Approach::kGS,
+                                            Approach::kJena, Approach::kGDB,
+                                            Approach::kCS,   Approach::kSumRDF};
+  return all;
+}
+
+const std::vector<Approach>& EstimatingApproaches() {
+  static const std::vector<Approach> all = {Approach::kSS, Approach::kGS,
+                                            Approach::kGDB, Approach::kCS,
+                                            Approach::kSumRDF};
+  return all;
+}
+
+const card::PlannerStatsProvider* ProviderFor(const Dataset& ds, Approach a) {
+  switch (a) {
+    case Approach::kSS: return ds.ss_est.get();
+    case Approach::kGS: return ds.gs_est.get();
+    case Approach::kJena: return nullptr;
+    case Approach::kGDB: return ds.gdb.get();
+    case Approach::kCS: return ds.cs.get();
+    case Approach::kSumRDF: return ds.sumrdf.get();
+  }
+  return nullptr;
+}
+
+opt::Plan PlanFor(const Dataset& ds, Approach a, const sparql::EncodedBgp& bgp) {
+  if (a == Approach::kJena) {
+    return baselines::PlanJenaLike(bgp, ds.gs.rdf_type_id);
+  }
+  return opt::PlanJoinOrder(bgp, *ProviderFor(ds, a));
+}
+
+QueryRun RunQuery(const Dataset& ds, Approach a, const std::string& text,
+                  const RunOptions& options) {
+  QueryRun run;
+  auto parsed = sparql::ParseQuery(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+
+  exec::ExecOptions eopts;
+  eopts.timeout_ms = options.timeout_ms;
+  eopts.max_intermediate_rows = options.max_rows;
+
+  // Unshuffled run: estimates and plan cost.
+  {
+    auto bgp = sparql::EncodeBgp(*parsed, ds.graph.dict());
+    opt::Plan plan = PlanFor(ds, a, bgp);
+    run.est_plan_cost = plan.total_cost;
+    const card::PlannerStatsProvider* provider = ProviderFor(ds, a);
+    run.est_result_card =
+        provider ? provider->EstimateResultCardinality(bgp)
+                 : std::numeric_limits<double>::quiet_NaN();
+    auto r = exec::ExecuteBgp(ds.graph, bgp, plan.order, eopts);
+    run.num_results = r->num_results;
+    run.true_plan_cost = r->TrueCost();
+    run.timed_out = r->timed_out;
+  }
+
+  // Shuffled repetitions: runtime distribution (the paper shuffles the BGP
+  // before each of the 10 executions because some optimizers are sensitive
+  // to the textual order). reps == 0 skips this (estimate-only analyses).
+  if (options.reps == 0) return run;
+  Rng rng(options.shuffle_seed);
+  std::vector<double> times;
+  for (int rep = 0; rep < options.reps; ++rep) {
+    sparql::ParsedQuery shuffled = *parsed;
+    rng.Shuffle(shuffled.patterns);
+    auto bgp = sparql::EncodeBgp(shuffled, ds.graph.dict());
+    opt::Plan plan = PlanFor(ds, a, bgp);
+    auto r = exec::ExecuteBgp(ds.graph, bgp, plan.order, eopts);
+    if (r->timed_out) run.timed_out = true;
+    times.push_back(r->elapsed_ms);
+  }
+  double sum = 0;
+  for (double t : times) sum += t;
+  run.mean_ms = sum / times.size();
+  double var = 0;
+  for (double t : times) var += (t - run.mean_ms) * (t - run.mean_ms);
+  run.stddev_ms = times.size() > 1 ? std::sqrt(var / (times.size() - 1)) : 0;
+  return run;
+}
+
+double QError(double estimate, double truth) {
+  double e = std::max(1.0, estimate);
+  double c = std::max(1.0, truth);
+  if (std::isnan(estimate)) return std::numeric_limits<double>::quiet_NaN();
+  return std::max(e / c, c / e);
+}
+
+std::string FormatMs(const QueryRun& run) {
+  if (run.timed_out) return "TO";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f±%.1f", run.mean_ms, run.stddev_ms);
+  return buf;
+}
+
+}  // namespace shapestats::bench

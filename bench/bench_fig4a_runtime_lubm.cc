@@ -1,0 +1,16 @@
+// Reproduces Figure 4a: query runtime on LUBM for the plans proposed by
+// SS, GS, Jena, GDB, CS and SumRDF, each executed with shuffled
+// repetitions on the same engine (the paper executes all plans in Jena
+// TDB), plus the paper's "best plan in 75% of cases" summary.
+#include <cstdio>
+
+#include "bench_figures.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Figure 4a: query runtime in LUBM ===\n");
+  bench::Dataset ds = bench::BuildLubm();
+  bench::PrintRuntimeFigure(ds, workload::LubmQueries());
+  return 0;
+}

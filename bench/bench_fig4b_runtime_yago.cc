@@ -1,0 +1,14 @@
+// Reproduces Figure 4b: query runtime on YAGO-4 (13 handcrafted C/F/S
+// queries) for SS, GS, Jena, GDB, CS and SumRDF.
+#include <cstdio>
+
+#include "bench_figures.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Figure 4b: query runtime in YAGO-4 ===\n");
+  bench::Dataset ds = bench::BuildYago();
+  bench::PrintRuntimeFigure(ds, workload::YagoQueries());
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 4c: q-error of the final result cardinality estimates
+// on LUBM for SS, GS, GDB, CS and SumRDF (Jena is heuristic-only and has
+// no estimates, as in the paper), with the <15 / <250 / >=250 buckets the
+// paper reports.
+#include <cstdio>
+
+#include "bench_figures.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Figure 4c: q-error in LUBM ===\n");
+  bench::Dataset ds = bench::BuildLubm();
+  bench::PrintQErrorFigure(ds, workload::LubmQueries());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 4d: q-error of the final result cardinality estimates
+// on YAGO-4 for SS, GS, GDB, CS and SumRDF.
+#include <cstdio>
+
+#include "bench_figures.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Figure 4d: q-error in YAGO-4 ===\n");
+  bench::Dataset ds = bench::BuildYago();
+  bench::PrintQErrorFigure(ds, workload::YagoQueries());
+  return 0;
+}

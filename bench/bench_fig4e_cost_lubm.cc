@@ -1,0 +1,15 @@
+// Reproduces Figure 4e: estimated vs actual (true) query plan cost on
+// LUBM for the SS and GS plans. Plan cost is the sum of intermediate join
+// cardinalities (Problem 2).
+#include <cstdio>
+
+#include "bench_figures.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Figure 4e: estimated vs true plan cost in LUBM ===\n");
+  bench::Dataset ds = bench::BuildLubm();
+  bench::PrintCostFigure(ds, workload::LubmQueries());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 4f: estimated vs actual (true) query plan cost on
+// YAGO-4 for the SS and GS plans.
+#include <cstdio>
+
+#include "bench_figures.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Figure 4f: estimated vs true plan cost in YAGO-4 ===\n");
+  bench::Dataset ds = bench::BuildYago();
+  bench::PrintCostFigure(ds, workload::YagoQueries());
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "bench_figures.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace shapestats::bench {
+
+void PrintRuntimeFigure(const Dataset& ds,
+                        const std::vector<workload::BenchQuery>& queries,
+                        const RunOptions& options) {
+  std::vector<std::string> header{"query"};
+  for (Approach a : AllApproaches()) header.push_back(ApproachName(a));
+  header.push_back("results");
+  TablePrinter table(header);
+
+  std::map<Approach, int> best_count;
+  std::map<Approach, double> overhead_sum;
+  std::map<Approach, int> overhead_n;
+  int timeouts = 0;
+
+  std::vector<std::map<Approach, QueryRun>> runs(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto& q = queries[qi];
+    std::vector<std::string> row{q.label};
+    double best = std::numeric_limits<double>::infinity();
+    uint64_t results = 0;
+    for (Approach a : AllApproaches()) {
+      QueryRun run = RunQuery(ds, a, q.text, options);
+      runs[qi][a] = run;
+      row.push_back(FormatMs(run));
+      if (!run.timed_out) {
+        best = std::min(best, run.mean_ms);
+        results = run.num_results;
+      } else {
+        ++timeouts;
+      }
+    }
+    for (Approach a : AllApproaches()) {
+      const QueryRun& run = runs[qi][a];
+      if (run.timed_out) continue;
+      // "Best plan" = within 10% of the fastest plus a small absolute slack
+      // (sub-millisecond runs are all noise).
+      if (run.mean_ms <= best * 1.10 + 0.3) {
+        best_count[a] += 1;
+      } else {
+        overhead_sum[a] += (run.mean_ms - best) / std::max(best, 0.5);
+        overhead_n[a] += 1;
+      }
+    }
+    row.push_back(WithCommas(results));
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nSummary (runtime in ms, %d shuffled reps each):\n", options.reps);
+  for (Approach a : AllApproaches()) {
+    double pct = 100.0 * best_count[a] / queries.size();
+    double avg_overhead =
+        overhead_n[a] ? 100.0 * overhead_sum[a] / overhead_n[a] : 0.0;
+    std::printf("  %-7s best plan in %5.1f%% of queries; avg overhead otherwise "
+                "%5.1f%%\n",
+                ApproachName(a), pct, avg_overhead);
+  }
+  if (timeouts) std::printf("  (%d timeouts marked TO)\n", timeouts);
+}
+
+void PrintQErrorFigure(const Dataset& ds,
+                       const std::vector<workload::BenchQuery>& queries,
+                       const RunOptions& options) {
+  std::vector<std::string> header{"query"};
+  for (Approach a : EstimatingApproaches()) header.push_back(ApproachName(a));
+  header.push_back("true card");
+  TablePrinter table(header);
+
+  RunOptions estimate_only = options;
+  estimate_only.reps = 0;  // estimates come from the unshuffled run
+  std::map<Approach, std::vector<double>> qerrors;
+  for (const auto& q : queries) {
+    std::vector<std::string> row{q.label};
+    uint64_t truth = 0;
+    for (Approach a : EstimatingApproaches()) {
+      QueryRun run = RunQuery(ds, a, q.text, estimate_only);
+      truth = run.num_results;
+      double qe = QError(run.est_result_card, static_cast<double>(run.num_results));
+      qerrors[a].push_back(qe);
+      row.push_back(CompactDouble(qe));
+    }
+    row.push_back(WithCommas(truth));
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf("\nq-error buckets (paper reports <15, <250, >=250):\n");
+  for (Approach a : EstimatingApproaches()) {
+    int lt15 = 0, lt250 = 0, ge250 = 0;
+    for (double qe : qerrors[a]) {
+      if (qe < 15) ++lt15;
+      else if (qe < 250) ++lt250;
+      else ++ge250;
+    }
+    std::printf("  %-7s %2d queries < 15, %2d queries < 250, %2d queries >= 250\n",
+                ApproachName(a), lt15, lt250, ge250);
+  }
+}
+
+void PrintCostFigure(const Dataset& ds,
+                     const std::vector<workload::BenchQuery>& queries,
+                     const RunOptions& options) {
+  TablePrinter table({"query", "SS est cost", "SS true cost", "SS ratio",
+                      "GS est cost", "GS true cost", "GS ratio"});
+  RunOptions estimate_only = options;
+  estimate_only.reps = 0;  // plan costs come from the unshuffled run
+  double ss_log_sum = 0, gs_log_sum = 0;
+  int n = 0;
+  for (const auto& q : queries) {
+    QueryRun ss = RunQuery(ds, Approach::kSS, q.text, estimate_only);
+    QueryRun gs = RunQuery(ds, Approach::kGS, q.text, estimate_only);
+    auto ratio = [](const QueryRun& r) {
+      return std::max(1.0, r.est_plan_cost) /
+             std::max<double>(1.0, static_cast<double>(r.true_plan_cost));
+    };
+    double ss_ratio = ratio(ss);
+    double gs_ratio = ratio(gs);
+    ss_log_sum += std::fabs(std::log10(ss_ratio));
+    gs_log_sum += std::fabs(std::log10(gs_ratio));
+    ++n;
+    table.AddRow({q.label, WithCommas(static_cast<uint64_t>(ss.est_plan_cost)),
+                  WithCommas(ss.true_plan_cost), CompactDouble(ss_ratio),
+                  WithCommas(static_cast<uint64_t>(gs.est_plan_cost)),
+                  WithCommas(gs.true_plan_cost), CompactDouble(gs_ratio)});
+  }
+  table.Print();
+  std::printf(
+      "\nMean |log10(est/true)| — lower means the estimated cost tracks the\n"
+      "actual cost better: SS %.2f vs GS %.2f\n",
+      ss_log_sum / n, gs_log_sum / n);
+}
+
+}  // namespace shapestats::bench

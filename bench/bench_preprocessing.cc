@@ -1,0 +1,56 @@
+// Reproduces the Section-7 preprocessing comparison: the time to build
+// each statistics artifact (Shapes Annotator vs Characteristic Sets vs
+// SumRDF summaries) and the artifact sizes. The paper reports e.g. LUBM:
+// annotator 16 min vs CS 6.2 h vs SumRDF 4.5 min-but-GB-sized, and a
+// 45 KB -> 68 KB shapes file; the *ratios* are the reproduction target.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace shapestats;
+
+int main() {
+  std::printf("=== Section 7: preprocessing time and artifact size ===\n\n");
+
+  struct Row {
+    const char* name;
+    bench::Dataset ds;
+  };
+  std::vector<bench::Dataset> datasets;
+  datasets.push_back(bench::BuildLubm());
+  datasets.push_back(bench::BuildWatDiv());
+  datasets.push_back(bench::BuildYago());
+
+  TablePrinter time_table({"dataset", "triples", "annotator (ms)", "CS build (ms)",
+                           "SumRDF build (ms)", "annotator speedup vs CS"});
+  for (const bench::Dataset& ds : datasets) {
+    double speedup = ds.cs->build_ms() / std::max(ds.annotate_ms, 0.001);
+    time_table.AddRow({ds.name, WithCommas(ds.graph.NumTriples()),
+                       CompactDouble(ds.annotate_ms),
+                       CompactDouble(ds.cs->build_ms()),
+                       CompactDouble(ds.sumrdf->build_ms()),
+                       CompactDouble(speedup) + "x"});
+  }
+  time_table.Print();
+
+  std::printf("\n");
+  TablePrinter size_table({"dataset", "plain shapes (KB)", "extended shapes (KB)",
+                           "CS index (KB)", "SumRDF summary (KB)"});
+  for (const bench::Dataset& ds : datasets) {
+    size_table.AddRow({ds.name,
+                       CompactDouble(ds.shapes_plain_bytes / 1024.0),
+                       CompactDouble(ds.shapes_extended_bytes / 1024.0),
+                       CompactDouble(ds.cs->MemoryBytes() / 1024.0),
+                       CompactDouble(ds.sumrdf->MemoryBytes() / 1024.0)});
+  }
+  size_table.Print();
+
+  std::printf(
+      "\nPaper's shape check: extending shapes costs ~1.5x the plain shapes\n"
+      "file (paper: 45 KB -> 68 KB) and is substantially cheaper to build\n"
+      "than Characteristic Sets (paper: 2-4x less preprocessing time), while\n"
+      "CS/SumRDF artifacts are orders of magnitude larger than the shapes.\n");
+  return 0;
+}

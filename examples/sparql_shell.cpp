@@ -1,0 +1,158 @@
+// Interactive SPARQL shell over the QueryEngine facade — demonstrates the
+// end-user surface of the library: load data, get shape-statistics
+// optimization transparently, run SELECT queries with FILTER / DISTINCT /
+// ORDER BY / LIMIT, and inspect plans with .explain.
+//
+// Usage:
+//   sparql_shell [data.nt]      # default: a generated LUBM dataset
+//
+// Commands:
+//   .help                show help
+//   .stats               dataset and statistics summary
+//   .shapes [class]      list node shapes (or one shape's statistics)
+//   .explain <query>     show the optimized plan without executing
+//   .quit                exit
+//   anything else        executed as a SPARQL query (may span lines;
+//                        terminate with an empty line)
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "datagen/lubm.h"
+#include "engine/query_engine.h"
+#include "sparql/parser.h"
+#include "util/string_util.h"
+
+using namespace shapestats;
+
+namespace {
+
+void PrintStats(const engine::QueryEngine& eng) {
+  const auto& gs = eng.global_stats();
+  std::printf("triples: %s   subjects: %s   objects: %s   classes: %s\n",
+              WithCommas(gs.num_triples).c_str(),
+              WithCommas(gs.num_distinct_subjects).c_str(),
+              WithCommas(gs.num_distinct_objects).c_str(),
+              WithCommas(gs.num_distinct_classes).c_str());
+  std::printf("optimizer: %s   shapes: %zu node / %zu property\n",
+              engine::OptimizerName(eng.options().optimizer),
+              eng.shapes().NumNodeShapes(), eng.shapes().NumPropertyShapes());
+}
+
+void PrintShapes(const engine::QueryEngine& eng, const std::string& filter) {
+  for (const shacl::NodeShape& ns : eng.shapes().shapes()) {
+    if (!filter.empty() && ns.target_class.find(filter) == std::string::npos) {
+      continue;
+    }
+    std::printf("%s  (sh:count %s)\n", ns.target_class.c_str(),
+                WithCommas(ns.count.value_or(0)).c_str());
+    if (!filter.empty()) {
+      for (const shacl::PropertyShape& ps : ns.properties) {
+        std::printf("    %-60s count %-9s distinct %-9s [%s..%s]\n",
+                    ps.path.c_str(), WithCommas(ps.count.value_or(0)).c_str(),
+                    WithCommas(ps.distinct_count.value_or(0)).c_str(),
+                    std::to_string(ps.min_count.value_or(0)).c_str(),
+                    std::to_string(ps.max_count.value_or(0)).c_str());
+      }
+    }
+  }
+}
+
+// Reads a possibly multi-line query: keeps reading until the braces are
+// balanced and at least one '}' has been seen, or an empty line.
+std::string ReadQuery(const std::string& first_line) {
+  std::string text = first_line;
+  auto complete = [&text]() {
+    int depth = 0;
+    bool seen = false;
+    for (char c : text) {
+      if (c == '{') ++depth;
+      if (c == '}') {
+        --depth;
+        seen = true;
+      }
+    }
+    return seen && depth <= 0;
+  };
+  std::string line;
+  while (!complete() && std::getline(std::cin, line)) {
+    if (Trim(line).empty()) break;
+    text += "\n" + line;
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<engine::QueryEngine> opened = [&]() -> Result<engine::QueryEngine> {
+    if (argc >= 2) {
+      std::printf("loading %s ...\n", argv[1]);
+      return engine::QueryEngine::FromNTriplesFile(argv[1]);
+    }
+    std::printf("no data file given; generating a demo LUBM dataset\n");
+    datagen::LubmOptions opts;
+    opts.universities = 2;
+    return engine::QueryEngine::Open(datagen::GenerateLubm(opts));
+  }();
+  if (!opened.ok()) {
+    std::fprintf(stderr, "failed to open: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  engine::QueryEngine eng = std::move(opened).value();
+  PrintStats(eng);
+  std::printf("type .help for commands; SPARQL queries run directly\n");
+
+  std::string line;
+  std::printf("sparql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed.empty()) {
+      std::printf("sparql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (trimmed == ".help") {
+      std::printf(".stats | .shapes [class] | .explain <query> | .quit\n");
+    } else if (trimmed == ".stats") {
+      PrintStats(eng);
+    } else if (StartsWith(trimmed, ".shapes")) {
+      PrintShapes(eng, std::string(Trim(trimmed.substr(7))));
+    } else if (StartsWith(trimmed, ".explain")) {
+      std::string text = ReadQuery(trimmed.substr(8));
+      auto plan = eng.Explain(text);
+      if (plan.ok()) {
+        std::fputs(plan->c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      }
+    } else {
+      std::string text = ReadQuery(line);
+      auto result = eng.Execute(text);
+      if (result.ok()) {
+        if (result->ask) {
+          std::printf("%s (%.1f ms)\n", *result->ask ? "yes" : "no",
+                      result->total_ms);
+        } else if (result->count) {
+          std::printf("count: %s (%.1f ms)\n", WithCommas(*result->count).c_str(),
+                      result->total_ms);
+        } else {
+          std::fputs(result->table.ToString(eng.graph().dict()).c_str(), stdout);
+          std::printf("%zu rows (%s matches) in %.1f ms (planning %.1f ms)%s\n",
+                      result->table.rows.size(),
+                      WithCommas(result->table.bgp_matches).c_str(),
+                      result->total_ms, result->plan_ms,
+                      result->table.timed_out ? " [TIMED OUT]" : "");
+        }
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+    }
+    std::printf("sparql> ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

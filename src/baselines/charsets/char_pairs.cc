@@ -1,0 +1,157 @@
+#include "baselines/charsets/char_pairs.h"
+
+#include <algorithm>
+
+#include "sparql/query_graph.h"
+#include "util/timer.h"
+
+namespace shapestats::baselines {
+
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+
+Result<CharPairIndex> CharPairIndex::Build(const rdf::Graph& graph,
+                                           const CharSetIndex& base) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  Timer timer;
+  CharPairIndex index;
+  index.base_ = &base;
+  index.graph_ = &graph;
+
+  // Subject -> set id, recovered from the SPO runs (same walk as the base
+  // build; kept sorted by subject for binary search).
+  auto triples = graph.triples();
+  size_t i = 0;
+  while (i < triples.size()) {
+    size_t j = i;
+    std::vector<rdf::TermId> preds;
+    while (j < triples.size() && triples[j].s == triples[i].s) {
+      if (preds.empty() || preds.back() != triples[j].p) {
+        preds.push_back(triples[j].p);
+      }
+      ++j;
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    auto sid = base.FindSet(preds);
+    if (!sid) {
+      return Status::Internal("base CharSetIndex does not cover this graph");
+    }
+    index.set_of_subject_.emplace_back(triples[i].s, *sid);
+    i = j;
+  }
+
+  auto set_of = [&](rdf::TermId subject) -> std::optional<uint32_t> {
+    auto it = std::lower_bound(
+        index.set_of_subject_.begin(), index.set_of_subject_.end(), subject,
+        [](const auto& entry, rdf::TermId s) { return entry.first < s; });
+    if (it == index.set_of_subject_.end() || it->first != subject) {
+      return std::nullopt;
+    }
+    return it->second;
+  };
+
+  // Pair counts: one pass over all triples whose object is also a subject.
+  for (const rdf::Triple& t : triples) {
+    auto left = set_of(t.s);
+    auto right = set_of(t.o);
+    if (!left || !right) continue;
+    index.pair_counts_[PairKey{*left, t.p, *right}] += 1;
+  }
+  index.build_ms_ = timer.ElapsedMs() + base.build_ms();
+  return index;
+}
+
+size_t CharPairIndex::MemoryBytes() const {
+  return base_->MemoryBytes() +
+         pair_counts_.size() * (sizeof(PairKey) + sizeof(uint64_t) + 48) +
+         set_of_subject_.capacity() * sizeof(set_of_subject_[0]);
+}
+
+double CharPairIndex::EstimateChain(rdf::TermId link_pred,
+                                    const std::vector<rdf::TermId>& left_star,
+                                    const std::vector<rdf::TermId>& right_star,
+                                    const std::vector<bool>& right_bound) const {
+  const auto& sets = base_->sets();
+  double total = 0;
+  for (const auto& [key, count] : pair_counts_) {
+    if (key.pred != link_pred) continue;
+    const CharacteristicSet& left = sets[key.left_set];
+    const CharacteristicSet& right = sets[key.right_set];
+    // Left star predicates (beyond the link) must be in the left set,
+    // right star predicates in the right set.
+    bool ok = true;
+    for (rdf::TermId q : left_star) {
+      if (q != link_pred &&
+          !std::binary_search(left.predicates.begin(), left.predicates.end(), q)) {
+        ok = false;
+        break;
+      }
+    }
+    for (rdf::TermId q : right_star) {
+      if (!std::binary_search(right.predicates.begin(), right.predicates.end(),
+                              q)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    double contribution = static_cast<double>(count);
+    for (rdf::TermId q : left_star) {
+      if (q == link_pred) continue;
+      const auto& ps = left.per_predicate.at(q);
+      contribution *= static_cast<double>(ps.occurrences) / left.count;
+    }
+    for (size_t k = 0; k < right_star.size(); ++k) {
+      const auto& ps = right.per_predicate.at(right_star[k]);
+      contribution *= static_cast<double>(ps.occurrences) / right.count;
+      if (k < right_bound.size() && right_bound[k]) {
+        contribution /= std::max<double>(1, ps.distinct_objects);
+      }
+    }
+    total += contribution;
+  }
+  return total;
+}
+
+std::vector<card::TpEstimate> CharPairIndex::EstimateAll(
+    const EncodedBgp& bgp) const {
+  return base_->EstimateAll(bgp);
+}
+
+double CharPairIndex::EstimateJoin(const EncodedPattern& a,
+                                   const card::TpEstimate& ea,
+                                   const EncodedPattern& b,
+                                   const card::TpEstimate& eb) const {
+  // Chain joins (object of one = subject of the other) with bound
+  // predicates: the pair statistics apply.
+  if (a.p.is_bound() && b.p.is_bound()) {
+    if (a.o.is_var() && b.s.is_var() && a.o.id == b.s.id) {
+      return EstimateChain(a.p.id, {a.p.id}, {b.p.id}, {b.o.is_bound()});
+    }
+    if (b.o.is_var() && a.s.is_var() && b.o.id == a.s.id) {
+      return EstimateChain(b.p.id, {b.p.id}, {a.p.id}, {a.o.is_bound()});
+    }
+  }
+  // Everything else: the base behaviour (exact stars, Eq 1-3 fallback).
+  return base_->EstimateJoin(a, ea, b, eb);
+}
+
+double CharPairIndex::EstimateResultCardinality(const EncodedBgp& bgp) const {
+  // 2-pattern chains get the exact pair estimate; larger queries fall back
+  // to the base decomposition (the "multi-chain star queries only" limit
+  // the paper mentions).
+  if (bgp.patterns.size() == 2) {
+    const EncodedPattern& a = bgp.patterns[0];
+    const EncodedPattern& b = bgp.patterns[1];
+    if (a.p.is_bound() && b.p.is_bound() && a.o.is_var() && b.s.is_var() &&
+        a.o.id == b.s.id) {
+      return EstimateChain(a.p.id, {a.p.id}, {b.p.id}, {b.o.is_bound()});
+    }
+  }
+  return base_->EstimateResultCardinality(bgp);
+}
+
+}  // namespace shapestats::baselines

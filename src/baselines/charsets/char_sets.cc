@@ -1,0 +1,238 @@
+#include "baselines/charsets/char_sets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "card/estimator.h"
+#include "sparql/query_graph.h"
+#include "util/timer.h"
+
+namespace shapestats::baselines {
+
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+
+Result<CharSetIndex> CharSetIndex::Build(const rdf::Graph& graph) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  Timer timer;
+  CharSetIndex index;
+  index.gs_ = stats::GlobalStats::Compute(graph);
+  index.rdf_type_ = index.gs_.rdf_type_id;
+  index.dict_ = &graph.dict();
+
+  // One pass over SPO order: subjects are contiguous runs.
+  std::map<std::vector<rdf::TermId>, uint32_t>& set_ids = index.set_ids_;
+  auto triples = graph.triples();
+  size_t i = 0;
+  while (i < triples.size()) {
+    size_t j = i;
+    while (j < triples.size() && triples[j].s == triples[i].s) ++j;
+    // Collect this subject's predicate set and per-predicate objects.
+    std::vector<rdf::TermId> preds;
+    for (size_t k = i; k < j; ++k) {
+      if (preds.empty() || preds.back() != triples[k].p) {
+        preds.push_back(triples[k].p);
+      }
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    auto [it, inserted] = set_ids.emplace(preds, index.sets_.size());
+    if (inserted) {
+      CharacteristicSet cs;
+      cs.predicates = preds;
+      index.sets_.push_back(std::move(cs));
+    }
+    CharacteristicSet& cs = index.sets_[it->second];
+    cs.count += 1;
+    for (size_t k = i; k < j; ++k) {
+      cs.per_predicate[triples[k].p].occurrences += 1;
+    }
+    i = j;
+  }
+
+  // Distinct objects per (set, predicate): second pass with sets known.
+  // Subjects of one set are scattered, so collect object sets per pair.
+  {
+    std::map<std::pair<uint32_t, rdf::TermId>, std::set<rdf::TermId>> objs;
+    size_t a = 0;
+    while (a < triples.size()) {
+      size_t b = a;
+      std::vector<rdf::TermId> preds;
+      while (b < triples.size() && triples[b].s == triples[a].s) {
+        if (preds.empty() || preds.back() != triples[b].p) {
+          preds.push_back(triples[b].p);
+        }
+        ++b;
+      }
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+      uint32_t sid = set_ids.at(preds);
+      for (size_t k = a; k < b; ++k) {
+        objs[{sid, triples[k].p}].insert(triples[k].o);
+      }
+      a = b;
+    }
+    for (auto& [key, o] : objs) {
+      index.sets_[key.first].per_predicate[key.second].distinct_objects = o.size();
+    }
+  }
+
+  for (uint32_t s = 0; s < index.sets_.size(); ++s) {
+    for (rdf::TermId p : index.sets_[s].predicates) {
+      index.postings_[p].push_back(s);
+    }
+  }
+  index.build_ms_ = timer.ElapsedMs();
+  return index;
+}
+
+std::optional<uint32_t> CharSetIndex::FindSet(
+    const std::vector<rdf::TermId>& preds) const {
+  auto it = set_ids_.find(preds);
+  if (it == set_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t CharSetIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const CharacteristicSet& cs : sets_) {
+    bytes += cs.predicates.capacity() * sizeof(rdf::TermId);
+    bytes += cs.per_predicate.size() *
+             (sizeof(rdf::TermId) + sizeof(CharacteristicSet::PredStats) + 16);
+  }
+  for (const auto& [p, posting] : postings_) {
+    (void)p;
+    bytes += posting.capacity() * sizeof(uint32_t) + 32;
+  }
+  return bytes;
+}
+
+double CharSetIndex::EstimateStar(const std::vector<rdf::TermId>& preds,
+                                  const std::vector<bool>& object_bound,
+                                  rdf::TermId /*required_class*/) const {
+  if (preds.empty()) return 0;
+  // Deduplicated sorted predicate set for the superset test.
+  std::vector<rdf::TermId> unique_preds = preds;
+  std::sort(unique_preds.begin(), unique_preds.end());
+  unique_preds.erase(std::unique(unique_preds.begin(), unique_preds.end()),
+                     unique_preds.end());
+  // Enumerate candidates via the shortest posting list.
+  const std::vector<uint32_t>* shortest = nullptr;
+  for (rdf::TermId p : unique_preds) {
+    auto it = postings_.find(p);
+    if (it == postings_.end()) return 0;
+    if (!shortest || it->second.size() < shortest->size()) shortest = &it->second;
+  }
+  double total = 0;
+  for (uint32_t sid : *shortest) {
+    const CharacteristicSet& cs = sets_[sid];
+    if (!std::includes(cs.predicates.begin(), cs.predicates.end(),
+                       unique_preds.begin(), unique_preds.end())) {
+      continue;
+    }
+    double contribution = static_cast<double>(cs.count);
+    for (size_t k = 0; k < preds.size(); ++k) {
+      const auto& ps = cs.per_predicate.at(preds[k]);
+      double per_subject = static_cast<double>(ps.occurrences) / cs.count;
+      contribution *= per_subject;
+      if (object_bound[k]) {
+        contribution /= std::max<double>(1, ps.distinct_objects);
+      }
+    }
+    total += contribution;
+  }
+  return total;
+}
+
+std::vector<card::TpEstimate> CharSetIndex::EstimateAll(
+    const EncodedBgp& bgp) const {
+  // Per-pattern estimates use the aggregated (global) statistics — the CS
+  // structure only refines multi-pattern stars.
+  card::CardinalityEstimator global(gs_, nullptr, *dict_,
+                                    card::StatsMode::kGlobal);
+  return global.EstimateAll(bgp);
+}
+
+double CharSetIndex::EstimateJoin(const EncodedPattern& a,
+                                  const card::TpEstimate& ea,
+                                  const EncodedPattern& b,
+                                  const card::TpEstimate& eb) const {
+  if (a.s.is_var() && b.s.is_var() && a.s.id == b.s.id && a.p.is_bound() &&
+      b.p.is_bound()) {
+    return EstimateStar({a.p.id, b.p.id}, {a.o.is_bound(), b.o.is_bound()},
+                        rdf::kInvalidTermId);
+  }
+  return card::JoinEstimateEq123(a, ea, b, eb);
+}
+
+double CharSetIndex::EstimateResultCardinality(const EncodedBgp& bgp) const {
+  // Decompose into subject-star groups.
+  std::map<uint32_t, std::vector<uint32_t>> var_groups;  // subject var -> tps
+  std::vector<uint32_t> singletons;
+  for (uint32_t i = 0; i < bgp.patterns.size(); ++i) {
+    const EncodedPattern& tp = bgp.patterns[i];
+    if (tp.s.is_var() && tp.p.is_bound()) {
+      var_groups[tp.s.id].push_back(i);
+    } else {
+      singletons.push_back(i);
+    }
+  }
+  auto tp_estimates = EstimateAll(bgp);
+
+  struct GroupEstimate {
+    double card;
+    std::vector<uint32_t> members;
+  };
+  std::vector<GroupEstimate> groups;
+  for (const auto& [var, members] : var_groups) {
+    (void)var;
+    std::vector<rdf::TermId> preds;
+    std::vector<bool> bound;
+    for (uint32_t i : members) {
+      preds.push_back(bgp.patterns[i].p.id);
+      bound.push_back(bgp.patterns[i].o.is_bound());
+    }
+    double card = EstimateStar(preds, bound, rdf::kInvalidTermId);
+    groups.push_back({card, members});
+  }
+  for (uint32_t i : singletons) {
+    groups.push_back({tp_estimates[i].card, {i}});
+  }
+  if (groups.empty()) return 0;
+
+  // Chain groups with independence over the linking variables (the ECS-style
+  // combination; the known weak spot for snowflakes).
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupEstimate& a, const GroupEstimate& b) {
+              return a.card < b.card;
+            });
+  double result = groups[0].card;
+  std::vector<uint32_t> placed = groups[0].members;
+  for (size_t g = 1; g < groups.size(); ++g) {
+    double best_denom = 0;  // 0 = no link found -> Cartesian
+    for (uint32_t a : placed) {
+      for (uint32_t b : groups[g].members) {
+        for (const auto& sv : sparql::SharedVars(bgp.patterns[a], bgp.patterns[b])) {
+          double da = sv.pos_a == sparql::TermPos::kSubject ? tp_estimates[a].dsc
+                      : sv.pos_a == sparql::TermPos::kObject ? tp_estimates[a].doc
+                                                             : tp_estimates[a].card;
+          double db = sv.pos_b == sparql::TermPos::kSubject ? tp_estimates[b].dsc
+                      : sv.pos_b == sparql::TermPos::kObject ? tp_estimates[b].doc
+                                                             : tp_estimates[b].card;
+          best_denom = std::max(best_denom, std::max(da, db));
+        }
+      }
+    }
+    result = best_denom > 0 ? result * groups[g].card / std::max(best_denom, 1.0)
+                            : result * groups[g].card;
+    placed.insert(placed.end(), groups[g].members.begin(), groups[g].members.end());
+  }
+  return result;
+}
+
+}  // namespace shapestats::baselines

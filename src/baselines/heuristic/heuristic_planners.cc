@@ -1,0 +1,100 @@
+#include "baselines/heuristic/heuristic_planners.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "card/estimator.h"
+#include "sparql/query_graph.h"
+
+namespace shapestats::baselines {
+
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+
+int JenaPatternWeight(bool subject_bound, bool predicate_bound, bool object_bound,
+                      bool is_type_pattern) {
+  if (subject_bound && predicate_bound && object_bound) return 1;
+  if (subject_bound && predicate_bound) return 2;
+  if (predicate_bound && object_bound) return is_type_pattern ? 5 : 3;
+  if (subject_bound && object_bound) return 4;
+  if (subject_bound) return 6;
+  if (predicate_bound) return 7;
+  if (object_bound) return 8;
+  return 10;
+}
+
+opt::Plan PlanJenaLike(const EncodedBgp& bgp, rdf::TermId rdf_type_id) {
+  opt::Plan plan;
+  plan.provider = "Jena";
+  const size_t n = bgp.patterns.size();
+  std::vector<bool> used(n, false);
+  std::set<sparql::VarId> bound_vars;
+
+  auto weight = [&](const EncodedPattern& tp) {
+    auto bound = [&](const sparql::EncodedTerm& t) {
+      if (!t.is_var()) return true;
+      return bound_vars.count(t.id) > 0;
+    };
+    bool is_type = tp.p.is_bound() && rdf_type_id != rdf::kInvalidTermId &&
+                   tp.p.id == rdf_type_id && tp.o.is_bound();
+    return JenaPatternWeight(bound(tp.s), bound(tp.p), bound(tp.o), is_type);
+  };
+
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    int best_weight = std::numeric_limits<int>::max();
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const EncodedPattern& tp = bgp.patterns[i];
+      bool connected = step == 0;
+      for (const sparql::EncodedTerm* t : {&tp.s, &tp.p, &tp.o}) {
+        if (t->is_var() && bound_vars.count(t->id)) connected = true;
+      }
+      int w = weight(tp);
+      // Prefer connected patterns; among equals the first in textual order
+      // wins (the source of order sensitivity).
+      if ((connected && !best_connected) ||
+          (connected == best_connected && w < best_weight)) {
+        best = static_cast<int>(i);
+        best_weight = w;
+        best_connected = connected;
+      }
+    }
+    used[best] = true;
+    plan.order.push_back(best);
+    plan.step_estimates.push_back(0);
+    const EncodedPattern& tp = bgp.patterns[best];
+    for (const sparql::EncodedTerm* t : {&tp.s, &tp.p, &tp.o}) {
+      if (t->is_var()) bound_vars.insert(t->id);
+    }
+  }
+  return plan;
+}
+
+std::vector<card::TpEstimate> GraphDbLikeProvider::EstimateAll(
+    const EncodedBgp& bgp) const {
+  card::CardinalityEstimator global(gs_, nullptr, dict_, card::StatsMode::kGlobal);
+  return global.EstimateAll(bgp);
+}
+
+double GraphDbLikeProvider::EstimateJoin(const EncodedPattern& a,
+                                         const card::TpEstimate& ea,
+                                         const EncodedPattern& b,
+                                         const card::TpEstimate& eb) const {
+  if (!sparql::Joinable(a, b)) return ea.card * eb.card;
+  return std::min(ea.card, eb.card);
+}
+
+double GraphDbLikeProvider::EstimateResultCardinality(const EncodedBgp& bgp) const {
+  // min-model chained over all patterns: the full result is assumed to be
+  // bounded by the most selective pattern.
+  auto est = EstimateAll(bgp);
+  double best = std::numeric_limits<double>::infinity();
+  for (const card::TpEstimate& e : est) best = std::min(best, e.card);
+  return std::isfinite(best) ? best : 0;
+}
+
+}  // namespace shapestats::baselines

@@ -1,0 +1,58 @@
+// Heuristic-optimizer stand-ins for the two closed/third-party engines in
+// the paper's evaluation:
+//
+// * Jena ARQ — a statistics-free, weight-based reorderer in the spirit of
+//   ARQ's ReorderFixed: every pattern gets a fixed weight by its binding
+//   signature (bound terms and already-bound variables make it cheaper),
+//   ties keep the textual order. Because ties are broken by input order,
+//   plans change when the BGP is shuffled — reproducing the
+//   non-determinism (error bars) the paper reports for Jena.
+//
+// * GraphDB — a statistics-backed greedy planner: per-pattern estimates
+//   from the engine's collection statistics (Table-1-style, global), but a
+//   coarse join model (min of the operand cardinalities) instead of the
+//   distinct-count formulas.
+#pragma once
+
+#include "card/provider.h"
+#include "opt/plan.h"
+#include "rdf/dictionary.h"
+#include "sparql/encoded_bgp.h"
+#include "stats/global_stats.h"
+
+namespace shapestats::baselines {
+
+/// Computes the Jena-ARQ-like join order for `bgp` (no estimates; the
+/// returned plan carries empty step estimates and zero cost).
+opt::Plan PlanJenaLike(const sparql::EncodedBgp& bgp, rdf::TermId rdf_type_id);
+
+/// Fixed pattern weight used by PlanJenaLike, exposed for tests.
+/// `subject_bound`/`object_bound` also account for variables bound by
+/// previously chosen patterns.
+int JenaPatternWeight(bool subject_bound, bool predicate_bound, bool object_bound,
+                      bool is_type_pattern);
+
+/// GraphDB-like statistics provider (see file comment).
+class GraphDbLikeProvider : public card::PlannerStatsProvider {
+ public:
+  GraphDbLikeProvider(const stats::GlobalStats& gs, const rdf::TermDictionary& dict)
+      : gs_(gs), dict_(dict) {}
+
+  std::string name() const override { return "GDB"; }
+
+  std::vector<card::TpEstimate> EstimateAll(
+      const sparql::EncodedBgp& bgp) const override;
+
+  /// Coarse join model: |A join B| ~= min(|A|, |B|).
+  double EstimateJoin(const sparql::EncodedPattern& a, const card::TpEstimate& ea,
+                      const sparql::EncodedPattern& b,
+                      const card::TpEstimate& eb) const override;
+
+  double EstimateResultCardinality(const sparql::EncodedBgp& bgp) const override;
+
+ private:
+  const stats::GlobalStats& gs_;
+  const rdf::TermDictionary& dict_;
+};
+
+}  // namespace shapestats::baselines

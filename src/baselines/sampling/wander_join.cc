@@ -1,0 +1,142 @@
+#include "baselines/sampling/wander_join.h"
+
+#include <algorithm>
+
+#include "card/estimator.h"
+#include "sparql/query_graph.h"
+
+namespace shapestats::baselines {
+
+using rdf::OptId;
+using rdf::TermId;
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+using sparql::EncodedTerm;
+
+SamplingEstimator::SamplingEstimator(const rdf::Graph& graph, Options options)
+    : graph_(graph),
+      gs_(stats::GlobalStats::Compute(graph)),
+      options_(options),
+      rng_(options.seed) {}
+
+std::vector<card::TpEstimate> SamplingEstimator::EstimateAll(
+    const EncodedBgp& bgp) const {
+  std::vector<card::TpEstimate> out;
+  out.reserve(bgp.patterns.size());
+  // Exact counts for bound parts; DSC/DOC from the global statistics so the
+  // default join formulas remain usable as a fallback.
+  card::CardinalityEstimator global(gs_, nullptr, graph_.dict(),
+                                    card::StatsMode::kGlobal);
+  auto fallback = global.EstimateAll(bgp);
+  for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+    const EncodedPattern& tp = bgp.patterns[i];
+    if (tp.HasMissingConstant()) {
+      out.push_back({0, 0, 0});
+      continue;
+    }
+    OptId s = tp.s.is_bound() ? OptId(tp.s.id) : std::nullopt;
+    OptId p = tp.p.is_bound() ? OptId(tp.p.id) : std::nullopt;
+    OptId o = tp.o.is_bound() ? OptId(tp.o.id) : std::nullopt;
+    double exact = static_cast<double>(graph_.CountMatches(s, p, o));
+    out.push_back({exact, std::min(exact, fallback[i].dsc),
+                   std::min(exact, fallback[i].doc)});
+  }
+  return out;
+}
+
+double SamplingEstimator::WalkEstimate(
+    const std::vector<EncodedPattern>& patterns) const {
+  // Connectivity-greedy order: prefer patterns with bound terms or already
+  // bound variables so every step is selective.
+  std::vector<uint32_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::vector<bool> bound_var;
+  size_t num_vars = 0;
+  for (const EncodedPattern& tp : patterns) {
+    for (const EncodedTerm* t : {&tp.s, &tp.p, &tp.o}) {
+      if (t->is_var()) num_vars = std::max<size_t>(num_vars, t->id + 1);
+    }
+  }
+  bound_var.assign(num_vars, false);
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      const EncodedPattern& tp = patterns[i];
+      for (const EncodedTerm* t : {&tp.s, &tp.p, &tp.o}) {
+        if (!t->is_var()) {
+          score += 2;
+        } else if (bound_var[t->id]) {
+          score += 3;
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    const EncodedPattern& tp = patterns[best];
+    for (const EncodedTerm* t : {&tp.s, &tp.p, &tp.o}) {
+      if (t->is_var()) bound_var[t->id] = true;
+    }
+  }
+
+  std::vector<TermId> bindings(num_vars, rdf::kInvalidTermId);
+  double total = 0;
+  for (uint32_t walk = 0; walk < options_.num_walks; ++walk) {
+    std::fill(bindings.begin(), bindings.end(), rdf::kInvalidTermId);
+    double weight = 1;
+    for (uint32_t idx : order) {
+      const EncodedPattern& tp = patterns[idx];
+      if (tp.HasMissingConstant()) {
+        weight = 0;
+        break;
+      }
+      auto resolve = [&](const EncodedTerm& t) -> OptId {
+        if (t.is_bound()) return t.id;
+        TermId b = bindings[t.id];
+        return b == rdf::kInvalidTermId ? OptId(std::nullopt) : OptId(b);
+      };
+      auto span = graph_.Match(resolve(tp.s), resolve(tp.p), resolve(tp.o));
+      if (span.empty()) {
+        weight = 0;
+        break;
+      }
+      const rdf::Triple& t = span[rng_.Uniform(0, span.size() - 1)];
+      // Repeated-variable consistency inside one pattern.
+      auto consistent = [&](const EncodedTerm& x, TermId vx, const EncodedTerm& y,
+                            TermId vy) {
+        return !(x.is_var() && y.is_var() && x.id == y.id && vx != vy);
+      };
+      if (!consistent(tp.s, t.s, tp.p, t.p) || !consistent(tp.s, t.s, tp.o, t.o) ||
+          !consistent(tp.p, t.p, tp.o, t.o)) {
+        weight = 0;  // rejected sample
+        break;
+      }
+      weight *= static_cast<double>(span.size());
+      if (tp.s.is_var()) bindings[tp.s.id] = t.s;
+      if (tp.p.is_var()) bindings[tp.p.id] = t.p;
+      if (tp.o.is_var()) bindings[tp.o.id] = t.o;
+    }
+    total += weight;
+  }
+  return total / options_.num_walks;
+}
+
+double SamplingEstimator::EstimateJoin(const EncodedPattern& a,
+                                       const card::TpEstimate& ea,
+                                       const EncodedPattern& b,
+                                       const card::TpEstimate& eb) const {
+  if (!sparql::Joinable(a, b)) return ea.card * eb.card;
+  return WalkEstimate({a, b});
+}
+
+double SamplingEstimator::EstimateResultCardinality(const EncodedBgp& bgp) const {
+  return WalkEstimate(bgp.patterns);
+}
+
+}  // namespace shapestats::baselines

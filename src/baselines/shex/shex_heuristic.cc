@@ -1,0 +1,127 @@
+#include "baselines/shex/shex_heuristic.h"
+
+#include <algorithm>
+
+namespace shapestats::baselines {
+
+namespace {
+
+// Default weight for anything the constraints say nothing about; chosen
+// high so un-constrained patterns are scheduled late.
+constexpr double kUnknownWeight = 1e6;
+
+// Multiplicity midpoint of a property shape: [min, max] -> (min+max)/2,
+// with an open upper bound treated as min+2 ("one or more ... probably
+// larger").
+double Multiplicity(const shacl::PropertyShape& ps) {
+  double lo = static_cast<double>(ps.min_count.value_or(0));
+  double hi = ps.max_count ? static_cast<double>(*ps.max_count) : lo + 2.0;
+  return std::max(0.5, (lo + hi) / 2.0);
+}
+
+}  // namespace
+
+ShexWeights ShexWeights::Derive(const shacl::ShapesGraph& shapes) {
+  ShexWeights w;
+  w.shapes_ = &shapes;
+  // Seed every class with weight 1, then propagate: a property shape
+  // (C, p) with sh:class D and minCount >= 1 implies D receives at least
+  // weight(C) * multiplicity(C, p) instances' worth of objects, when each
+  // object is distinct in the worst case. Iterate to a (capped) fixpoint.
+  for (const shacl::NodeShape& ns : shapes.shapes()) {
+    w.weights_[ns.target_class] = 1.0;
+  }
+  for (int round = 0; round < 8; ++round) {
+    bool changed = false;
+    for (const shacl::NodeShape& ns : shapes.shapes()) {
+      double wc = w.weights_[ns.target_class];
+      for (const shacl::PropertyShape& ps : ns.properties) {
+        if (ps.node_class.empty()) continue;
+        if (!ps.min_count || *ps.min_count < 1) continue;
+        auto it = w.weights_.find(ps.node_class);
+        if (it == w.weights_.end()) continue;
+        // Cap the inferred weight: constraints justify "at least as many",
+        // not unbounded exponential growth.
+        double inferred = std::min(wc * Multiplicity(ps), 1e4);
+        if (inferred > it->second + 1e-12) {
+          it->second = inferred;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return w;
+}
+
+double ShexWeights::ClassWeight(const std::string& cls_iri) const {
+  auto it = weights_.find(cls_iri);
+  return it == weights_.end() ? 1.0 : it->second;
+}
+
+double ShexWeights::PropertyWeight(const std::string& cls_iri,
+                                   const std::string& path) const {
+  const shacl::PropertyShape* ps =
+      shapes_ ? shapes_->FindProperty(cls_iri, path) : nullptr;
+  if (ps == nullptr) return kUnknownWeight;
+  return ClassWeight(cls_iri) * Multiplicity(*ps);
+}
+
+ShexHeuristicProvider::ShexHeuristicProvider(const shacl::ShapesGraph& shapes,
+                                             const rdf::TermDictionary& dict,
+                                             rdf::TermId rdf_type_id)
+    : weights_(ShexWeights::Derive(shapes)),
+      shapes_(shapes),
+      dict_(dict),
+      rdf_type_id_(rdf_type_id) {}
+
+std::vector<card::TpEstimate> ShexHeuristicProvider::EstimateAll(
+    const sparql::EncodedBgp& bgp) const {
+  // Type anchors, as in the statistics estimator, but resolved purely from
+  // the query text (no data access).
+  std::unordered_map<sparql::VarId, std::string> anchors;
+  for (const sparql::EncodedPattern& tp : bgp.patterns) {
+    if (tp.s.is_var() && tp.p.is_bound() && tp.p.id == rdf_type_id_ &&
+        tp.o.is_bound()) {
+      const rdf::Term& cls = dict_.term(tp.o.id);
+      if (cls.is_iri()) anchors.emplace(tp.s.id, cls.lexical);
+    }
+  }
+
+  std::vector<card::TpEstimate> out;
+  out.reserve(bgp.patterns.size());
+  for (const sparql::EncodedPattern& tp : bgp.patterns) {
+    double weight = kUnknownWeight;
+    if (tp.HasMissingConstant()) {
+      weight = kUnknownWeight;  // constraint inference knows nothing of data
+    } else if (tp.p.is_bound() && tp.p.id == rdf_type_id_ && tp.o.is_bound()) {
+      const rdf::Term& cls = dict_.term(tp.o.id);
+      if (cls.is_iri()) weight = weights_.ClassWeight(cls.lexical);
+    } else if (tp.p.is_bound() && tp.s.is_var()) {
+      auto anchor = anchors.find(tp.s.id);
+      const rdf::Term& pred = dict_.term(tp.p.id);
+      if (anchor != anchors.end() && pred.is_iri()) {
+        weight = weights_.PropertyWeight(anchor->second, pred.lexical);
+      } else if (pred.is_iri()) {
+        // Unanchored: the predicate could belong to any shape; take the
+        // smallest weight over candidate shapes (optimistic, as in [1]).
+        double best = kUnknownWeight;
+        for (const shacl::NodeShape* ns : shapes_.CandidatesForPath(pred.lexical)) {
+          best = std::min(best,
+                          weights_.PropertyWeight(ns->target_class, pred.lexical));
+        }
+        weight = best;
+      }
+    }
+    // Bound subject/object halve the weight (more selective), mirroring
+    // binding-count heuristics.
+    if (tp.s.is_bound()) weight *= 0.25;
+    if (tp.o.is_bound() && !(tp.p.is_bound() && tp.p.id == rdf_type_id_)) {
+      weight *= 0.25;
+    }
+    out.push_back({weight, weight, weight});
+  }
+  return out;
+}
+
+}  // namespace shapestats::baselines

@@ -1,0 +1,69 @@
+// ShEx-style constraint-only optimizer (Abbas, Genevès, Roisin, Layaïda,
+// ICWE 2018 — ref [1] in the paper's related work). Reorders triple
+// patterns using *inference over shape constraints alone*, never touching
+// data statistics: "if a shape definition says that every instructor has
+// one or more courses, but every course has exactly one instructor, it
+// infers that the cardinality of courses is at least the same as the
+// cardinality of instructors and probably larger".
+//
+// The inference assigns every class a relative weight via fixpoint
+// propagation over the sh:class / sh:minCount / sh:maxCount constraints of
+// an (un-annotated) shapes graph, then orders patterns by derived weight.
+// Including it alongside SS isolates the paper's actual contribution: the
+// *statistics*, not merely the shapes.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "card/provider.h"
+#include "rdf/dictionary.h"
+#include "shacl/shapes.h"
+#include "stats/global_stats.h"
+
+namespace shapestats::baselines {
+
+/// Constraint-derived relative class weights. Weights are unit-free; only
+/// their order matters.
+class ShexWeights {
+ public:
+  /// Derives weights from shape constraints only (statistics annotations,
+  /// if present, are ignored).
+  static ShexWeights Derive(const shacl::ShapesGraph& shapes);
+
+  /// Relative weight of a class (by IRI); 1.0 for unknown classes.
+  double ClassWeight(const std::string& cls_iri) const;
+
+  /// Relative weight of predicate `path` under class `cls`:
+  /// class weight x the midpoint of the min/max multiplicity constraints.
+  double PropertyWeight(const std::string& cls_iri, const std::string& path) const;
+
+  size_t size() const { return weights_.size(); }
+
+ private:
+  std::unordered_map<std::string, double> weights_;  // class IRI -> weight
+  const shacl::ShapesGraph* shapes_ = nullptr;
+};
+
+/// PlannerStatsProvider implementing the ShEx heuristic: per-pattern
+/// "cardinalities" are constraint-derived weights (not counts), joins use
+/// the default Equations 1-3 over those weights. Needs the rdf:type id to
+/// recognize type patterns and the dictionary to map ids back to IRIs.
+class ShexHeuristicProvider : public card::PlannerStatsProvider {
+ public:
+  ShexHeuristicProvider(const shacl::ShapesGraph& shapes,
+                        const rdf::TermDictionary& dict, rdf::TermId rdf_type_id);
+
+  std::string name() const override { return "ShEx"; }
+
+  std::vector<card::TpEstimate> EstimateAll(
+      const sparql::EncodedBgp& bgp) const override;
+
+ private:
+  ShexWeights weights_;
+  const shacl::ShapesGraph& shapes_;
+  const rdf::TermDictionary& dict_;
+  rdf::TermId rdf_type_id_;
+};
+
+}  // namespace shapestats::baselines

@@ -1,0 +1,97 @@
+#include "card/provider.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparql/query_graph.h"
+
+namespace shapestats::card {
+
+using sparql::EncodedPattern;
+using sparql::SharedVar;
+using sparql::TermPos;
+
+namespace {
+
+// Side statistics of a pattern for a given variable position.
+double SideStat(const TpEstimate& e, TermPos pos) {
+  switch (pos) {
+    case TermPos::kSubject: return e.dsc;
+    case TermPos::kObject: return e.doc;
+    case TermPos::kPredicate: return e.card;
+  }
+  return e.card;
+}
+
+}  // namespace
+
+double JoinEstimateEq123(const EncodedPattern& a, const TpEstimate& ea,
+                         const EncodedPattern& b, const TpEstimate& eb) {
+  auto shared = sparql::SharedVars(a, b);
+  if (shared.empty()) return ea.card * eb.card;  // Cartesian product
+  double best = std::numeric_limits<double>::infinity();
+  for (const SharedVar& sv : shared) {
+    double denom = std::max(SideStat(ea, sv.pos_a), SideStat(eb, sv.pos_b));
+    denom = std::max(denom, 1.0);
+    best = std::min(best, ea.card * eb.card / denom);
+  }
+  return best;
+}
+
+double PlannerStatsProvider::EstimateResultCardinality(
+    const sparql::EncodedBgp& bgp) const {
+  // Chain the pairwise formulas along a greedy order, carrying the
+  // intermediate-result estimate (the paper's J((tp_i |X| tp_j), tp_k)
+  // extension of Problem 1).
+  std::vector<TpEstimate> est = EstimateAll(bgp);
+  const size_t n = bgp.patterns.size();
+  if (n == 0) return 0;
+  size_t first = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (est[i].card < est[first].card) first = i;
+  }
+  std::vector<size_t> processed{first};
+  std::vector<bool> used(n, false);
+  used[first] = true;
+  double inter = est[first].card;
+
+  for (size_t step = 1; step < n; ++step) {
+    // Pick the remaining pattern with the cheapest pairwise join against
+    // any processed pattern (Cartesian as fallback).
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best_b = 0;
+    for (size_t b = 0; b < n; ++b) {
+      if (used[b]) continue;
+      double c = std::numeric_limits<double>::infinity();
+      for (size_t a : processed) {
+        c = std::min(c, EstimateJoin(bgp.patterns[a], est[a], bgp.patterns[b],
+                                     est[b]));
+      }
+      if (c < best_cost) {
+        best_cost = c;
+        best_b = b;
+      }
+    }
+    // Update the intermediate estimate: join IR with pattern best_b over the
+    // most selective shared variable with any processed pattern. The IR-side
+    // distinct count cannot exceed the IR cardinality itself.
+    double step_est = std::numeric_limits<double>::infinity();
+    for (size_t a : processed) {
+      for (const SharedVar& sv :
+           sparql::SharedVars(bgp.patterns[a], bgp.patterns[best_b])) {
+        double da = std::min(SideStat(est[a], sv.pos_a), inter);
+        double db = SideStat(est[best_b], sv.pos_b);
+        double denom = std::max(std::max(da, db), 1.0);
+        step_est = std::min(step_est, inter * est[best_b].card / denom);
+      }
+    }
+    if (!std::isfinite(step_est)) step_est = inter * est[best_b].card;  // Cartesian
+    inter = step_est;
+    used[best_b] = true;
+    processed.push_back(best_b);
+  }
+  return inter;
+}
+
+}  // namespace shapestats::card

@@ -1,0 +1,73 @@
+// Interface between statistics sources and the join-ordering algorithm
+// (Algorithm 1). Each approach in the paper's evaluation — global stats
+// (GS), shape stats (SS), Characteristic Sets (CS), SumRDF, GraphDB-like —
+// supplies per-triple-pattern estimates and a pairwise join estimator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparql/encoded_bgp.h"
+
+namespace shapestats::card {
+
+/// Estimated cardinality of one triple pattern plus the distinct subject /
+/// object counts used by the join formulas (the DSC and DOC columns of
+/// Table 2).
+struct TpEstimate {
+  double card = 0;
+  double dsc = 0;
+  double doc = 0;
+};
+
+/// Join cardinality by Equations 1-3 of the paper:
+///   SS: card_a * card_b / max(DSC_a, DSC_b)
+///   SO: card_a * card_b / max(DSC_a, DOC_b)   (and the mirrored OS case)
+///   OO: card_a * card_b / max(DOC_a, DOC_b)
+/// With several shared variables the most selective (minimum) estimate is
+/// used; predicate-position joins fall back to max(card_a, card_b) as the
+/// denominator. Patterns without a shared variable multiply (Cartesian
+/// product).
+double JoinEstimateEq123(const sparql::EncodedPattern& a, const TpEstimate& ea,
+                         const sparql::EncodedPattern& b, const TpEstimate& eb);
+
+/// Statistics provider consumed by the planner.
+class PlannerStatsProvider {
+ public:
+  virtual ~PlannerStatsProvider() = default;
+
+  /// Short label used in benchmark tables ("SS", "GS", "CS", ...).
+  virtual std::string name() const = 0;
+
+  /// Per-pattern estimates for the whole BGP. Computed together because
+  /// some providers use cross-pattern context (e.g. shape anchoring via
+  /// rdf:type patterns, Section 6.1).
+  virtual std::vector<TpEstimate> EstimateAll(
+      const sparql::EncodedBgp& bgp) const = 0;
+
+  /// Estimates used to sort the patterns and pick the first one
+  /// (Algorithm 1 line 6: "sorted in ascending order of their estimated
+  /// cardinalities using only global statistics"). The default reuses
+  /// EstimateAll; the shape-statistics estimator overrides this with the
+  /// global estimates, implementing the paper's two-phase scheme: a
+  /// shape-refined estimate is conditional on its rdf:type anchor and only
+  /// applies to join steps, not to the opening scan.
+  virtual std::vector<TpEstimate> SeedEstimates(
+      const sparql::EncodedBgp& bgp) const {
+    return EstimateAll(bgp);
+  }
+
+  /// Pairwise join estimate; default applies Equations 1-3.
+  virtual double EstimateJoin(const sparql::EncodedPattern& a, const TpEstimate& ea,
+                              const sparql::EncodedPattern& b,
+                              const TpEstimate& eb) const {
+    return JoinEstimateEq123(a, ea, b, eb);
+  }
+
+  /// Estimated cardinality of the full BGP result, used for the q-error
+  /// analysis (Figures 4c/4d). The default chains Equations 1-3 along a
+  /// greedy order; providers with holistic estimators (SumRDF, CS) override.
+  virtual double EstimateResultCardinality(const sparql::EncodedBgp& bgp) const;
+};
+
+}  // namespace shapestats::card

@@ -1,0 +1,236 @@
+#include "datagen/lubm.h"
+
+#include <string>
+#include <vector>
+
+#include "rdf/vocab.h"
+#include "util/random.h"
+
+namespace shapestats::datagen {
+
+namespace {
+
+/// Interned vocabulary handles for one generation run.
+struct Vocab {
+  rdf::TermId type;
+  // classes
+  rdf::TermId university, department, full_professor, associate_professor,
+      assistant_professor, lecturer, course, graduate_course,
+      undergraduate_student, graduate_student, teaching_assistant, publication;
+  // predicates
+  rdf::TermId name, email, telephone, research_interest, works_for, member_of,
+      head_of, teacher_of, takes_course, advisor, degree_from, publication_author,
+      sub_organization_of;
+
+  explicit Vocab(rdf::TermDictionary& d) {
+    auto ub = [&](const char* local) {
+      return d.InternIri(std::string(kUbNs) + local);
+    };
+    type = d.InternIri(rdf::vocab::kRdfType);
+    university = ub("University");
+    department = ub("Department");
+    full_professor = ub("FullProfessor");
+    associate_professor = ub("AssociateProfessor");
+    assistant_professor = ub("AssistantProfessor");
+    lecturer = ub("Lecturer");
+    course = ub("Course");
+    graduate_course = ub("GraduateCourse");
+    undergraduate_student = ub("UndergraduateStudent");
+    graduate_student = ub("GraduateStudent");
+    teaching_assistant = ub("TeachingAssistant");
+    publication = ub("Publication");
+    name = ub("name");
+    email = ub("emailAddress");
+    telephone = ub("telephone");
+    research_interest = ub("researchInterest");
+    works_for = ub("worksFor");
+    member_of = ub("memberOf");
+    head_of = ub("headOf");
+    teacher_of = ub("teacherOf");
+    takes_course = ub("takesCourse");
+    advisor = ub("advisor");
+    degree_from = ub("degreeFrom");
+    publication_author = ub("publicationAuthor");
+    sub_organization_of = ub("subOrganizationOf");
+  }
+};
+
+}  // namespace
+
+rdf::Graph GenerateLubm(const LubmOptions& options) {
+  rdf::Graph g;
+  rdf::TermDictionary& d = g.dict();
+  Vocab v(d);
+  Rng rng(options.seed);
+
+  // University pool: generated universities plus external ones that only
+  // appear as degreeFrom targets (keeps DOC(degreeFrom) small and fixed,
+  // like the 1000-university pool of real LUBM).
+  std::vector<rdf::TermId> universities;
+  uint32_t pool = options.universities * 4;
+  for (uint32_t u = 0; u < pool; ++u) {
+    rdf::TermId id = d.InternIri("http://www.University" + std::to_string(u) +
+                                 ".edu");
+    universities.push_back(id);
+  }
+  auto any_university = [&]() {
+    return universities[rng.Uniform(0, universities.size() - 1)];
+  };
+
+  auto literal = [&](const std::string& s) { return d.InternLiteral(s); };
+
+  for (uint32_t u = 0; u < options.universities; ++u) {
+    rdf::TermId univ = universities[u];
+    g.Add(univ, v.type, v.university);
+    g.Add(univ, v.name, literal("University" + std::to_string(u)));
+
+    uint64_t num_depts = rng.Uniform(10, 16);
+    for (uint64_t dep = 0; dep < num_depts; ++dep) {
+      std::string dept_ns = "http://www.Department" + std::to_string(dep) +
+                            ".University" + std::to_string(u) + ".edu/";
+      rdf::TermId dept = d.InternIri(dept_ns);
+      g.Add(dept, v.type, v.department);
+      g.Add(dept, v.name, literal("Department" + std::to_string(dep)));
+      g.Add(dept, v.sub_organization_of, univ);
+
+      struct FacultySpec {
+        rdf::TermId cls;
+        const char* prefix;
+        uint64_t lo, hi;
+      };
+      const FacultySpec ranks[] = {
+          {v.full_professor, "FullProfessor", 7, 10},
+          {v.associate_professor, "AssociateProfessor", 10, 14},
+          {v.assistant_professor, "AssistantProfessor", 8, 11},
+          {v.lecturer, "Lecturer", 5, 7},
+      };
+
+      std::vector<rdf::TermId> faculty;
+      std::vector<rdf::TermId> professors;  // advisor candidates
+      std::vector<std::vector<rdf::TermId>> prof_grad_courses;
+      std::vector<rdf::TermId> courses;
+      std::vector<rdf::TermId> grad_courses;
+      uint64_t course_counter = 0;
+
+      for (const FacultySpec& spec : ranks) {
+        uint64_t count = rng.Uniform(spec.lo, spec.hi);
+        for (uint64_t i = 0; i < count; ++i) {
+          rdf::TermId person =
+              d.InternIri(dept_ns + spec.prefix + std::to_string(i));
+          g.Add(person, v.type, spec.cls);
+          g.Add(person, v.name,
+                literal(std::string(spec.prefix) + std::to_string(i)));
+          g.Add(person, v.email,
+                literal(std::string(spec.prefix) + std::to_string(i) + "@" +
+                        dept_ns));
+          g.Add(person, v.telephone,
+                literal("xxx-xxx-" + std::to_string(rng.Uniform(1000, 9999))));
+          g.Add(person, v.works_for, dept);
+          g.Add(person, v.degree_from, any_university());
+          uint64_t interests = rng.Uniform(1, 2);
+          for (uint64_t r = 0; r < interests; ++r) {
+            g.Add(person, v.research_interest,
+                  literal("Research" + std::to_string(rng.Uniform(0, 29))));
+          }
+          faculty.push_back(person);
+          bool is_professor = spec.cls != v.lecturer;
+          if (is_professor) professors.push_back(person);
+
+          // Courses taught: 1-2 undergraduate, and professors also teach
+          // 1-2 graduate courses.
+          uint64_t undergrad_courses = rng.Uniform(1, 2);
+          for (uint64_t c = 0; c < undergrad_courses; ++c) {
+            rdf::TermId crs =
+                d.InternIri(dept_ns + "Course" + std::to_string(course_counter++));
+            g.Add(crs, v.type, v.course);
+            g.Add(crs, v.name, literal("Course" + std::to_string(course_counter)));
+            g.Add(person, v.teacher_of, crs);
+            courses.push_back(crs);
+          }
+          if (is_professor) {
+            std::vector<rdf::TermId> own_grad_courses;
+            uint64_t gcount = rng.Uniform(1, 2);
+            for (uint64_t c = 0; c < gcount; ++c) {
+              rdf::TermId crs = d.InternIri(dept_ns + "GraduateCourse" +
+                                            std::to_string(course_counter++));
+              g.Add(crs, v.type, v.graduate_course);
+              g.Add(crs, v.name,
+                    literal("GraduateCourse" + std::to_string(course_counter)));
+              g.Add(person, v.teacher_of, crs);
+              grad_courses.push_back(crs);
+              own_grad_courses.push_back(crs);
+            }
+            prof_grad_courses.push_back(std::move(own_grad_courses));
+          }
+
+          // Publications (faculty author 2-5 each).
+          uint64_t pubs = rng.Uniform(2, 5);
+          for (uint64_t pb = 0; pb < pubs; ++pb) {
+            rdf::TermId pub = d.InternIri(dept_ns + spec.prefix +
+                                          std::to_string(i) + "/Publication" +
+                                          std::to_string(pb));
+            g.Add(pub, v.type, v.publication);
+            g.Add(pub, v.name, literal("Publication" + std::to_string(pb)));
+            g.Add(pub, v.publication_author, person);
+          }
+        }
+      }
+      // The department head is a full professor.
+      g.Add(faculty[rng.Uniform(0, 2)], v.head_of, dept);
+
+      // Undergraduate students: ~5-8 per faculty member.
+      uint64_t undergrads = faculty.size() * rng.Uniform(5, 8);
+      for (uint64_t i = 0; i < undergrads; ++i) {
+        rdf::TermId student =
+            d.InternIri(dept_ns + "UndergraduateStudent" + std::to_string(i));
+        g.Add(student, v.type, v.undergraduate_student);
+        g.Add(student, v.name,
+              literal("UndergraduateStudent" + std::to_string(i)));
+        g.Add(student, v.email,
+              literal("UndergraduateStudent" + std::to_string(i) + "@" + dept_ns));
+        g.Add(student, v.member_of, dept);
+        uint64_t ncourses = rng.Uniform(2, 4);
+        for (uint64_t c = 0; c < ncourses; ++c) {
+          g.Add(student, v.takes_course,
+                courses[rng.Uniform(0, courses.size() - 1)]);
+        }
+        if (rng.Chance(0.2)) {
+          g.Add(student, v.advisor,
+                professors[rng.Uniform(0, professors.size() - 1)]);
+        }
+      }
+
+      // Graduate students: ~2-3 per faculty member.
+      uint64_t grads = faculty.size() * rng.Uniform(2, 3);
+      for (uint64_t i = 0; i < grads; ++i) {
+        rdf::TermId student =
+            d.InternIri(dept_ns + "GraduateStudent" + std::to_string(i));
+        g.Add(student, v.type, v.graduate_student);
+        if (rng.Chance(0.25)) g.Add(student, v.type, v.teaching_assistant);
+        g.Add(student, v.name, literal("GraduateStudent" + std::to_string(i)));
+        g.Add(student, v.email,
+              literal("GraduateStudent" + std::to_string(i) + "@" + dept_ns));
+        g.Add(student, v.member_of, dept);
+        g.Add(student, v.degree_from, any_university());
+        size_t adv = rng.Uniform(0, professors.size() - 1);
+        g.Add(student, v.advisor, professors[adv]);
+        // LUBM correlation: about half of the graduate students take one of
+        // the courses their advisor teaches — the structure behind queries
+        // like Q9 (student / advisor / course triangles).
+        if (rng.Chance(0.5) && !prof_grad_courses[adv].empty()) {
+          const auto& own = prof_grad_courses[adv];
+          g.Add(student, v.takes_course, own[rng.Uniform(0, own.size() - 1)]);
+        }
+        uint64_t ncourses = rng.Uniform(1, 3);
+        for (uint64_t c = 0; c < ncourses; ++c) {
+          g.Add(student, v.takes_course,
+                grad_courses[rng.Uniform(0, grad_courses.size() - 1)]);
+        }
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace shapestats::datagen

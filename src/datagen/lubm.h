@@ -1,0 +1,27 @@
+// LUBM-style synthetic data generator (Guo, Pan & Heflin — ref [10]).
+// Faithful to the LUBM schema (universities, departments, faculty ranks,
+// courses, students, publications, and the univ-bench predicate
+// vocabulary) but scaled down: the paper uses LUBM-500 with 91 M triples;
+// the default configuration here produces a structurally equivalent graph
+// at laptop scale. Entity ratios follow the LUBM generator's published
+// ranges, so relative cardinalities and correlations (e.g. advisor only on
+// students, teacherOf only on faculty) are preserved.
+#pragma once
+
+#include "rdf/graph.h"
+
+namespace shapestats::datagen {
+
+/// univ-bench namespace for classes and predicates.
+inline constexpr const char* kUbNs =
+    "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+struct LubmOptions {
+  uint32_t universities = 10;
+  uint64_t seed = 7;
+};
+
+/// Generates and finalizes a LUBM-style graph.
+rdf::Graph GenerateLubm(const LubmOptions& options = {});
+
+}  // namespace shapestats::datagen

@@ -1,0 +1,177 @@
+#include "datagen/watdiv.h"
+
+#include <string>
+#include <vector>
+
+#include "rdf/vocab.h"
+#include "util/random.h"
+
+namespace shapestats::datagen {
+
+rdf::Graph GenerateWatDiv(const WatDivOptions& options) {
+  rdf::Graph g;
+  rdf::TermDictionary& d = g.dict();
+  Rng rng(options.seed);
+
+  auto wsdbm = [&](const std::string& local) {
+    return d.InternIri(std::string(kWsdbmNs) + local);
+  };
+  auto sorg = [&](const std::string& local) {
+    return d.InternIri(std::string(kSorgNs) + local);
+  };
+  auto rev = [&](const std::string& local) {
+    return d.InternIri(std::string(kRevNs) + local);
+  };
+  auto literal = [&](const std::string& s) { return d.InternLiteral(s); };
+
+  rdf::TermId type = d.InternIri(rdf::vocab::kRdfType);
+  // classes
+  rdf::TermId c_product = wsdbm("Product");
+  rdf::TermId c_user = wsdbm("User");
+  rdf::TermId c_retailer = wsdbm("Retailer");
+  rdf::TermId c_review = wsdbm("Review");
+  rdf::TermId c_offer = wsdbm("Offer");
+  rdf::TermId c_city = wsdbm("City");
+  rdf::TermId c_country = wsdbm("Country");
+  rdf::TermId c_genre = wsdbm("Genre");
+  // predicates
+  rdf::TermId p_has_genre = wsdbm("hasGenre");
+  rdf::TermId p_caption = sorg("caption");
+  rdf::TermId p_description = sorg("description");
+  rdf::TermId p_content_rating = sorg("contentRating");
+  rdf::TermId p_price = sorg("price");
+  rdf::TermId p_likes = wsdbm("likes");
+  rdf::TermId p_follows = wsdbm("follows");
+  rdf::TermId p_friend_of = wsdbm("friendOf");
+  rdf::TermId p_gender = wsdbm("gender");
+  rdf::TermId p_age = sorg("age");
+  rdf::TermId p_nationality = sorg("nationality");
+  rdf::TermId p_located_in = wsdbm("locatedIn");
+  rdf::TermId p_reviewer = rev("reviewer");
+  rdf::TermId p_review_for = rev("reviewFor");
+  rdf::TermId p_rating = rev("ratingValue");
+  rdf::TermId p_title = rev("title");
+  rdf::TermId p_offer_for = wsdbm("offerFor");
+  rdf::TermId p_seller = wsdbm("seller");
+  rdf::TermId p_valid_through = sorg("validThrough");
+  rdf::TermId p_legal_name = sorg("legalName");
+  rdf::TermId p_homepage = sorg("homepage");
+
+  const uint32_t num_products = options.products;
+  const uint32_t num_users = options.products * 2;
+  const uint32_t num_reviews = options.products * 3 / 2;
+  const uint32_t num_offers = options.products;
+  const uint32_t num_retailers = std::max<uint32_t>(20, options.products / 200);
+  const uint32_t num_countries = 25;
+  const uint32_t num_cities = 240;
+  const uint32_t num_genres = 21;
+
+  std::vector<rdf::TermId> countries, cities, genres, products, users, retailers;
+
+  for (uint32_t i = 0; i < num_countries; ++i) {
+    rdf::TermId c = wsdbm("Country" + std::to_string(i));
+    g.Add(c, type, c_country);
+    countries.push_back(c);
+  }
+  for (uint32_t i = 0; i < num_cities; ++i) {
+    rdf::TermId c = wsdbm("City" + std::to_string(i));
+    g.Add(c, type, c_city);
+    g.Add(c, p_located_in, countries[rng.Uniform(0, num_countries - 1)]);
+    cities.push_back(c);
+  }
+  for (uint32_t i = 0; i < num_genres; ++i) {
+    rdf::TermId c = wsdbm("Genre" + std::to_string(i));
+    g.Add(c, type, c_genre);
+    genres.push_back(c);
+  }
+  for (uint32_t i = 0; i < num_retailers; ++i) {
+    rdf::TermId r = wsdbm("Retailer" + std::to_string(i));
+    g.Add(r, type, c_retailer);
+    g.Add(r, p_legal_name, literal("Retailer " + std::to_string(i)));
+    if (rng.Chance(0.8)) {
+      g.Add(r, p_homepage, literal("http://retailer" + std::to_string(i) + ".example"));
+    }
+    retailers.push_back(r);
+  }
+
+  for (uint32_t i = 0; i < num_products; ++i) {
+    rdf::TermId p = wsdbm("Product" + std::to_string(i));
+    g.Add(p, type, c_product);
+    g.Add(p, p_caption, literal("Product caption " + std::to_string(i)));
+    if (rng.Chance(0.55)) {
+      g.Add(p, p_description, literal("Description " + std::to_string(i)));
+    }
+    uint64_t ngenres = rng.Uniform(1, 2);
+    for (uint64_t k = 0; k < ngenres; ++k) {
+      // Genre popularity is Zipf-distributed.
+      g.Add(p, p_has_genre, genres[rng.Zipf(num_genres, 1.1)]);
+    }
+    g.Add(p, p_price, d.Intern(rdf::Term::IntLiteral(
+                          static_cast<int64_t>(rng.Uniform(1, 5000)))));
+    if (rng.Chance(0.3)) {
+      g.Add(p, p_content_rating, literal("Rating" + std::to_string(rng.Uniform(1, 5))));
+    }
+    products.push_back(p);
+  }
+
+  // Product popularity ranks for review/like targets (power-law).
+  auto popular_product = [&]() {
+    return products[rng.Zipf(num_products, 1.05)];
+  };
+
+  for (uint32_t i = 0; i < num_users; ++i) {
+    rdf::TermId u = wsdbm("User" + std::to_string(i));
+    g.Add(u, type, c_user);
+    g.Add(u, p_gender, literal(rng.Chance(0.5) ? "male" : "female"));
+    if (rng.Chance(0.7)) {
+      g.Add(u, p_age, d.Intern(rdf::Term::IntLiteral(
+                          static_cast<int64_t>(rng.Uniform(16, 80)))));
+    }
+    g.Add(u, p_nationality, countries[rng.Zipf(num_countries, 1.0)]);
+    // Social edges: heavy-tailed out-degree.
+    uint64_t follows = rng.Zipf(30, 1.3);
+    for (uint64_t k = 0; k < follows; ++k) {
+      g.Add(u, p_follows, wsdbm("User" + std::to_string(rng.Zipf(num_users, 1.05))));
+    }
+    uint64_t friends = rng.Zipf(12, 1.4);
+    for (uint64_t k = 0; k < friends; ++k) {
+      g.Add(u, p_friend_of,
+            wsdbm("User" + std::to_string(rng.Uniform(0, num_users - 1))));
+    }
+    uint64_t likes = rng.Zipf(10, 1.2);
+    for (uint64_t k = 0; k < likes; ++k) {
+      g.Add(u, p_likes, popular_product());
+    }
+    users.push_back(u);
+  }
+
+  for (uint32_t i = 0; i < num_reviews; ++i) {
+    rdf::TermId r = wsdbm("Review" + std::to_string(i));
+    g.Add(r, type, c_review);
+    g.Add(r, p_reviewer, users[rng.Zipf(num_users, 1.05)]);
+    g.Add(r, p_review_for, popular_product());
+    g.Add(r, p_rating, d.Intern(rdf::Term::IntLiteral(
+                           static_cast<int64_t>(rng.Uniform(1, 10)))));
+    if (rng.Chance(0.6)) {
+      g.Add(r, p_title, literal("Review title " + std::to_string(i)));
+    }
+  }
+
+  for (uint32_t i = 0; i < num_offers; ++i) {
+    rdf::TermId o = wsdbm("Offer" + std::to_string(i));
+    g.Add(o, type, c_offer);
+    g.Add(o, p_offer_for, popular_product());
+    g.Add(o, p_seller, retailers[rng.Zipf(num_retailers, 1.1)]);
+    g.Add(o, p_price, d.Intern(rdf::Term::IntLiteral(
+                          static_cast<int64_t>(rng.Uniform(1, 5000)))));
+    if (rng.Chance(0.6)) {
+      g.Add(o, p_valid_through, literal("2026-" +
+                                        std::to_string(rng.Uniform(1, 12)) + "-01"));
+    }
+  }
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace shapestats::datagen

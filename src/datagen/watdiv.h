@@ -1,0 +1,26 @@
+// WatDiv-style synthetic data generator (Aluç et al. — ref [2]).
+// Reproduces the WatDiv e-commerce schema (products, users, reviews,
+// offers, retailers, genres, locations) with the benchmark's hallmark
+// skew: power-law product popularity and user out-degrees, which is what
+// makes WatDiv a "diversified stress test" for cardinality estimators.
+// The paper uses WATDIV-S (109 M) and WATDIV-L (1 B); the scale knob here
+// produces structurally equivalent graphs at laptop scale.
+#pragma once
+
+#include "rdf/graph.h"
+
+namespace shapestats::datagen {
+
+inline constexpr const char* kWsdbmNs = "http://db.uwaterloo.ca/~galuc/wsdbm/";
+inline constexpr const char* kSorgNs = "http://schema.org/";
+inline constexpr const char* kRevNs = "http://purl.org/stuff/rev#";
+
+struct WatDivOptions {
+  uint32_t products = 8000;  // other entity counts scale from this
+  uint64_t seed = 11;
+};
+
+/// Generates and finalizes a WatDiv-style graph.
+rdf::Graph GenerateWatDiv(const WatDivOptions& options = {});
+
+}  // namespace shapestats::datagen

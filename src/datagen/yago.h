@@ -1,0 +1,28 @@
+// YAGO-4-style heterogeneous data generator (Pellissier Tanon et al. —
+// ref [21]). YAGO-4's defining property for this paper is its shape
+// profile: thousands of classes with Zipf-distributed sizes and a very
+// wide predicate vocabulary, yielding ~8.9k node shapes and ~81k property
+// shapes at full scale. This generator reproduces that heterogeneity at
+// laptop scale: classes draw per-class predicate profiles from a shared
+// vocabulary, objects mix literals and cross-class entity links, and a
+// fraction of entities carries multiple types.
+#pragma once
+
+#include "rdf/graph.h"
+
+namespace shapestats::datagen {
+
+inline constexpr const char* kYagoNs = "http://yago-knowledge.org/resource/";
+inline constexpr const char* kSchemaNs = "http://schema.org/";
+
+struct YagoOptions {
+  uint32_t num_classes = 300;
+  uint32_t num_predicates = 120;
+  uint32_t num_entities = 60000;
+  uint64_t seed = 23;
+};
+
+/// Generates and finalizes a YAGO-style heterogeneous graph.
+rdf::Graph GenerateYago(const YagoOptions& options = {});
+
+}  // namespace shapestats::datagen

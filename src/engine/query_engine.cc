@@ -1,0 +1,153 @@
+#include "engine/query_engine.h"
+
+#include <numeric>
+
+#include "opt/join_order.h"
+#include "rdf/ntriples.h"
+#include "shacl/generator.h"
+#include "sparql/parser.h"
+#include "stats/annotator.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace shapestats::engine {
+
+const char* OptimizerName(EngineOptions::Optimizer opt) {
+  switch (opt) {
+    case EngineOptions::Optimizer::kShapeStats: return "shape-stats";
+    case EngineOptions::Optimizer::kGlobalStats: return "global-stats";
+    case EngineOptions::Optimizer::kTextual: return "textual";
+  }
+  return "?";
+}
+
+Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized before Open");
+  }
+  QueryEngine engine;
+  engine.state_ = std::make_unique<State>();
+  State& st = *engine.state_;
+  st.options = options;
+  st.graph = std::move(graph);
+  st.gs = stats::GlobalStats::Compute(st.graph);
+
+  switch (options.optimizer) {
+    case EngineOptions::Optimizer::kShapeStats: {
+      auto shapes = shacl::GenerateShapes(st.graph);
+      // Data without rdf:type triples cannot anchor shapes; degrade to
+      // global statistics rather than failing.
+      if (shapes.ok()) {
+        st.shapes = std::move(shapes).value();
+        RETURN_NOT_OK(stats::AnnotateShapes(st.graph, &st.shapes).status());
+        st.estimator = std::make_unique<card::CardinalityEstimator>(
+            st.gs, &st.shapes, st.graph.dict(), card::StatsMode::kShape);
+      } else {
+        st.estimator = std::make_unique<card::CardinalityEstimator>(
+            st.gs, nullptr, st.graph.dict(), card::StatsMode::kGlobal);
+      }
+      break;
+    }
+    case EngineOptions::Optimizer::kGlobalStats:
+      st.estimator = std::make_unique<card::CardinalityEstimator>(
+          st.gs, nullptr, st.graph.dict(), card::StatsMode::kGlobal);
+      break;
+    case EngineOptions::Optimizer::kTextual:
+      break;
+  }
+  return engine;
+}
+
+Result<QueryEngine> QueryEngine::FromNTriplesFile(const std::string& path,
+                                                  EngineOptions options) {
+  rdf::Graph graph;
+  RETURN_NOT_OK(rdf::LoadNTriplesFile(path, &graph));
+  graph.Finalize();
+  return Open(std::move(graph), options);
+}
+
+Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp) const {
+  if (state_->estimator == nullptr) {
+    opt::Plan plan;
+    plan.provider = "textual";
+    plan.order.resize(bgp.patterns.size());
+    std::iota(plan.order.begin(), plan.order.end(), 0);
+    plan.step_estimates.assign(bgp.patterns.size(), 0);
+    return plan;
+  }
+  return opt::PlanJoinOrder(bgp, *state_->estimator);
+}
+
+Result<QueryResult> QueryEngine::Execute(std::string_view sparql) const {
+  Timer timer;
+  ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
+  sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
+  QueryResult result;
+  result.shape = sparql::ClassifyShape(bgp);
+  ASSIGN_OR_RETURN(result.plan, PlanQuery(bgp));
+  result.plan_ms = timer.ElapsedMs();
+
+  if (query.is_ask) {
+    // One solution suffices.
+    sparql::ParsedQuery probe = query;
+    probe.limit = 1;
+    ASSIGN_OR_RETURN(exec::ResultTable table,
+                     exec::ExecuteSelect(state_->graph, probe, bgp,
+                                         result.plan.order, state_->options.exec));
+    result.ask = !table.rows.empty();
+    result.total_ms = timer.ElapsedMs();
+    return result;
+  }
+  if (query.count_aggregate) {
+    // COUNT(*) counts solutions (bag semantics): run the BGP + filters and
+    // read the match counter.
+    sparql::ParsedQuery counting = query;
+    counting.count_aggregate = false;
+    counting.select_all = true;
+    counting.projection.clear();
+    ASSIGN_OR_RETURN(exec::ResultTable table,
+                     exec::ExecuteSelect(state_->graph, counting, bgp,
+                                         result.plan.order, state_->options.exec));
+    result.count = table.bgp_matches;
+    result.total_ms = timer.ElapsedMs();
+    return result;
+  }
+
+  ASSIGN_OR_RETURN(result.table,
+                   exec::ExecuteSelect(state_->graph, query, bgp,
+                                       result.plan.order, state_->options.exec));
+  result.total_ms = timer.ElapsedMs();
+  return result;
+}
+
+Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
+  ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
+  sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
+  ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp));
+
+  std::string out = "plan (" + plan.provider + " optimizer, query shape: " +
+                    sparql::QueryShapeName(sparql::ClassifyShape(bgp)) + ")\n";
+  for (size_t step = 0; step < plan.order.size(); ++step) {
+    uint32_t tp = plan.order[step];
+    out += "  " + std::to_string(step + 1) + ". " +
+           query.patterns[tp].ToString();
+    if (!plan.tp_estimates.empty()) {
+      out += "   [tp card ~" +
+             WithCommas(static_cast<uint64_t>(plan.tp_estimates[tp].card)) +
+             ", step est ~" +
+             WithCommas(static_cast<uint64_t>(plan.step_estimates[step])) + "]";
+    }
+    out += "\n";
+  }
+  if (!query.filters.empty()) {
+    out += "  + " + std::to_string(query.filters.size()) +
+           " filter(s), applied at the earliest step where bound\n";
+  }
+  if (plan.total_cost > 0) {
+    out += "estimated cost: " +
+           WithCommas(static_cast<uint64_t>(plan.total_cost)) + "\n";
+  }
+  return out;
+}
+
+}  // namespace shapestats::engine

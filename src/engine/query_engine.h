@@ -1,0 +1,92 @@
+// QueryEngine: the batteries-included facade over the whole library.
+// Owns the graph, builds all statistics artifacts once (global stats,
+// SHACL shapes + annotation), and answers SPARQL SELECT queries with
+// shape-statistics-optimized plans — the paper's system as a downstream
+// user would consume it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "card/estimator.h"
+#include "exec/select_executor.h"
+#include "opt/plan.h"
+#include "rdf/graph.h"
+#include "shacl/shapes.h"
+#include "sparql/query_graph.h"
+#include "stats/global_stats.h"
+#include "util/status.h"
+
+namespace shapestats::engine {
+
+struct EngineOptions {
+  enum class Optimizer {
+    kShapeStats,   // SS: annotated SHACL shapes + global stats (default)
+    kGlobalStats,  // GS: extended-VoID statistics only
+    kTextual,      // no optimizer: execute patterns in textual order
+  };
+  Optimizer optimizer = Optimizer::kShapeStats;
+  exec::ExecOptions exec;
+};
+
+const char* OptimizerName(EngineOptions::Optimizer opt);
+
+/// Result of one query: the solution table plus the plan that produced it.
+/// ASK queries set `ask`; COUNT(*) queries set `count` (the table is empty
+/// in both cases).
+struct QueryResult {
+  exec::ResultTable table;
+  opt::Plan plan;
+  sparql::QueryShape shape = sparql::QueryShape::kComplex;
+  std::optional<bool> ask;
+  std::optional<uint64_t> count;
+  double plan_ms = 0;   // parse + optimize
+  double total_ms = 0;  // parse + optimize + execute
+};
+
+/// Movable handle; all state lives behind one stable heap allocation so
+/// the internal estimator's references survive moves.
+class QueryEngine {
+ public:
+  /// Takes ownership of a finalized graph and runs all preprocessing
+  /// (global statistics; shape generation + annotation in kShapeStats mode).
+  static Result<QueryEngine> Open(rdf::Graph graph, EngineOptions options = {});
+
+  /// Loads an N-Triples file and opens it.
+  static Result<QueryEngine> FromNTriplesFile(const std::string& path,
+                                              EngineOptions options = {});
+
+  QueryEngine(QueryEngine&&) = default;
+  QueryEngine& operator=(QueryEngine&&) = default;
+
+  /// Parses, plans, and executes a SELECT query.
+  Result<QueryResult> Execute(std::string_view sparql) const;
+
+  /// Parses and plans without executing; returns a human-readable plan
+  /// description (pattern order with estimates).
+  Result<std::string> Explain(std::string_view sparql) const;
+
+  const rdf::Graph& graph() const { return state_->graph; }
+  const stats::GlobalStats& global_stats() const { return state_->gs; }
+  /// Annotated shapes (empty in kGlobalStats / kTextual modes).
+  const shacl::ShapesGraph& shapes() const { return state_->shapes; }
+  const EngineOptions& options() const { return state_->options; }
+
+ private:
+  struct State {
+    rdf::Graph graph;
+    stats::GlobalStats gs;
+    shacl::ShapesGraph shapes;
+    std::unique_ptr<card::CardinalityEstimator> estimator;
+    EngineOptions options;
+  };
+
+  QueryEngine() = default;
+
+  Result<opt::Plan> PlanQuery(const sparql::EncodedBgp& bgp) const;
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace shapestats::engine

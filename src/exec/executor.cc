@@ -1,0 +1,153 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/timer.h"
+
+namespace shapestats::exec {
+
+using rdf::OptId;
+using rdf::TermId;
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+using sparql::EncodedTerm;
+
+uint64_t ExecResult::TrueCost() const {
+  return std::accumulate(step_cards.begin(), step_cards.end(), uint64_t{0});
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const rdf::Graph& graph, const EncodedBgp& bgp,
+            const std::vector<uint32_t>& order, const ExecOptions& options)
+      : graph_(graph),
+        bgp_(bgp),
+        order_(order),
+        options_(options),
+        bindings_(bgp.NumVars(), rdf::kInvalidTermId) {
+    result_.step_cards.assign(order.size(), 0);
+  }
+
+  ExecResult Run() {
+    Timer timer;
+    if (!order_.empty()) Recurse(0, timer);
+    result_.num_results = result_.step_cards.empty() ? 0 : result_.step_cards.back();
+    result_.elapsed_ms = timer.ElapsedMs();
+    return std::move(result_);
+  }
+
+ private:
+  // Substitutes current bindings into pattern position `t`; returns the
+  // bound id, nullopt for a free position, and sets `var_out` when the
+  // position is a variable that is still unbound (to be bound by matches).
+  OptId Resolve(const EncodedTerm& t, std::optional<sparql::VarId>* var_out) {
+    if (t.is_bound()) return t.id;
+    if (t.is_missing()) return std::nullopt;  // handled by caller: no match
+    TermId bound = bindings_[t.id];
+    if (bound != rdf::kInvalidTermId) return bound;
+    *var_out = t.id;
+    return std::nullopt;
+  }
+
+  bool Aborted(const Timer& timer) {
+    if (options_.max_intermediate_rows &&
+        rows_produced_ > options_.max_intermediate_rows) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.timeout_ms > 0 && (rows_produced_ & 0xFFF) == 0 &&
+        timer.ElapsedMs() > options_.timeout_ms) {
+      result_.timed_out = true;
+      return true;
+    }
+    if (options_.limit && !result_.step_cards.empty() &&
+        result_.step_cards.back() >= options_.limit) {
+      return true;
+    }
+    return false;
+  }
+
+  void Recurse(size_t depth, const Timer& timer) {
+    const EncodedPattern& tp = bgp_.patterns[order_[depth]];
+    if (tp.HasMissingConstant()) return;
+
+    std::optional<sparql::VarId> vs, vp, vo;
+    OptId s = Resolve(tp.s, &vs);
+    OptId p = Resolve(tp.p, &vp);
+    OptId o = Resolve(tp.o, &vo);
+
+    for (const rdf::Triple& t : graph_.Match(s, p, o)) {
+      // A variable repeated inside one pattern must match equal terms.
+      if (vs && vp && *vs == *vp && t.s != t.p) continue;
+      if (vs && vo && *vs == *vo && t.s != t.o) continue;
+      if (vp && vo && *vp == *vo && t.p != t.o) continue;
+
+      if (vs) bindings_[*vs] = t.s;
+      if (vp) bindings_[*vp] = t.p;
+      if (vo) bindings_[*vo] = t.o;
+
+      ++result_.step_cards[depth];
+      ++rows_produced_;
+      if (Aborted(timer)) {
+        ClearVars(vs, vp, vo);
+        return;
+      }
+      if (depth + 1 < order_.size()) {
+        Recurse(depth + 1, timer);
+        if (result_.timed_out) {
+          ClearVars(vs, vp, vo);
+          return;
+        }
+      }
+    }
+    ClearVars(vs, vp, vo);
+  }
+
+  void ClearVars(std::optional<sparql::VarId> vs, std::optional<sparql::VarId> vp,
+                 std::optional<sparql::VarId> vo) {
+    if (vs) bindings_[*vs] = rdf::kInvalidTermId;
+    if (vp) bindings_[*vp] = rdf::kInvalidTermId;
+    if (vo) bindings_[*vo] = rdf::kInvalidTermId;
+  }
+
+  const rdf::Graph& graph_;
+  const EncodedBgp& bgp_;
+  const std::vector<uint32_t>& order_;
+  const ExecOptions& options_;
+  std::vector<TermId> bindings_;
+  uint64_t rows_produced_ = 0;
+  ExecResult result_;
+};
+
+}  // namespace
+
+Result<ExecResult> ExecuteBgp(const rdf::Graph& graph, const EncodedBgp& bgp,
+                              const std::vector<uint32_t>& order,
+                              const ExecOptions& options) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  if (order.size() != bgp.patterns.size()) {
+    return Status::InvalidArgument("order size does not match pattern count");
+  }
+  std::vector<bool> seen(bgp.patterns.size(), false);
+  for (uint32_t i : order) {
+    if (i >= bgp.patterns.size() || seen[i]) {
+      return Status::InvalidArgument("order is not a permutation of patterns");
+    }
+    seen[i] = true;
+  }
+  return Evaluator(graph, bgp, order, options).Run();
+}
+
+Result<ExecResult> ExecuteBgp(const rdf::Graph& graph, const EncodedBgp& bgp,
+                              const ExecOptions& options) {
+  std::vector<uint32_t> order(bgp.patterns.size());
+  std::iota(order.begin(), order.end(), 0);
+  return ExecuteBgp(graph, bgp, order, options);
+}
+
+}  // namespace shapestats::exec

@@ -1,0 +1,50 @@
+// BGP execution engine. Evaluates a join order with index nested-loop
+// joins over the store (depth-first, streaming, no materialization), and
+// records the true cardinality of every intermediate result — the TZ Card
+// column of Table 2 and the ground truth for the q-error analysis.
+// This is the stand-in for executing plans in Jena TDB in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "sparql/encoded_bgp.h"
+#include "util/status.h"
+
+namespace shapestats::exec {
+
+struct ExecOptions {
+  /// Abort when the number of produced intermediate rows exceeds this
+  /// (0 = unlimited). Mirrors the paper's 10-minute query timeout.
+  uint64_t max_intermediate_rows = 0;
+  /// Wall-clock timeout in milliseconds (0 = none).
+  double timeout_ms = 0;
+  /// If > 0, stop after this many result rows (SPARQL LIMIT).
+  uint64_t limit = 0;
+};
+
+struct ExecResult {
+  /// Number of result rows (BGP solution mappings, bag semantics).
+  uint64_t num_results = 0;
+  /// True cardinality after joining patterns order[0..k].
+  std::vector<uint64_t> step_cards;
+  /// Sum of intermediate cardinalities — the paper's true plan cost.
+  uint64_t TrueCost() const;
+  double elapsed_ms = 0;
+  bool timed_out = false;
+};
+
+/// Executes `bgp` joining patterns in the given `order` (indices into
+/// bgp.patterns; must be a permutation).
+Result<ExecResult> ExecuteBgp(const rdf::Graph& graph,
+                              const sparql::EncodedBgp& bgp,
+                              const std::vector<uint32_t>& order,
+                              const ExecOptions& options = {});
+
+/// Convenience: executes in textual pattern order.
+Result<ExecResult> ExecuteBgp(const rdf::Graph& graph,
+                              const sparql::EncodedBgp& bgp,
+                              const ExecOptions& options = {});
+
+}  // namespace shapestats::exec

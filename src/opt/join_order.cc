@@ -1,0 +1,86 @@
+#include "opt/join_order.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sparql/query_graph.h"
+
+namespace shapestats::opt {
+
+using card::TpEstimate;
+using sparql::EncodedBgp;
+
+Plan PlanJoinOrder(const EncodedBgp& bgp,
+                   const card::PlannerStatsProvider& provider) {
+  Plan plan;
+  plan.provider = provider.name();
+  const size_t n = bgp.patterns.size();
+  if (n == 0) return plan;
+
+  plan.tp_estimates = provider.EstimateAll(bgp);
+  std::vector<card::TpEstimate> seed = provider.SeedEstimates(bgp);
+
+  // Line 6: sort ascending by the *seed* cardinalities — for the SS
+  // provider these are the phase-1 global estimates (shape-refined
+  // estimates are conditional on their rdf:type anchor and only valid for
+  // join steps). Stable sort: ties keep the textual pattern order. The
+  // sorted order picks the first pattern and breaks ties among equal join
+  // estimates.
+  std::vector<uint32_t> by_card(n);
+  std::iota(by_card.begin(), by_card.end(), 0);
+  std::stable_sort(by_card.begin(), by_card.end(), [&](uint32_t a, uint32_t b) {
+    return seed[a].card < seed[b].card;
+  });
+
+  std::vector<bool> used(n, false);
+  uint32_t first = by_card[0];
+  used[first] = true;
+  plan.order.push_back(first);
+  plan.step_estimates.push_back(plan.tp_estimates[first].card);
+  plan.total_cost = plan.tp_estimates[first].card;
+
+  for (size_t step = 1; step < n; ++step) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    bool best_joinable = false;
+    uint32_t best_b = 0;
+    // Prefer joinable pairs over Cartesian products even when the Cartesian
+    // estimate is numerically smaller (e.g. with zero-cardinality patterns):
+    // executing a connected pattern first never hurts and avoids blow-ups
+    // from misestimated zero counts.
+    for (uint32_t b : by_card) {
+      if (used[b]) continue;
+      double c = std::numeric_limits<double>::infinity();
+      bool joinable = false;
+      for (uint32_t a : plan.order) {
+        if (!sparql::Joinable(bgp.patterns[a], bgp.patterns[b])) continue;
+        joinable = true;
+        c = std::min(c, provider.EstimateJoin(bgp.patterns[a], plan.tp_estimates[a],
+                                              bgp.patterns[b],
+                                              plan.tp_estimates[b]));
+      }
+      if (!joinable) {
+        // Cartesian product estimate against the cheapest processed pattern.
+        double min_card = std::numeric_limits<double>::infinity();
+        for (uint32_t a : plan.order) {
+          min_card = std::min(min_card, plan.tp_estimates[a].card);
+        }
+        c = min_card * plan.tp_estimates[b].card;
+      }
+      if ((joinable && !best_joinable) ||
+          (joinable == best_joinable && c < best_cost)) {
+        best_cost = c;
+        best_b = b;
+        best_joinable = joinable;
+      }
+    }
+    if (!best_joinable) plan.has_cartesian = true;
+    used[best_b] = true;
+    plan.order.push_back(best_b);
+    plan.step_estimates.push_back(best_cost);
+    plan.total_cost += best_cost;
+  }
+  return plan;
+}
+
+}  // namespace shapestats::opt

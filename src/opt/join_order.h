@@ -1,0 +1,25 @@
+// Algorithm 1 (join ordering): greedy construction of a join order from
+// per-pattern cardinality estimates and the pairwise join estimator of the
+// statistics provider.
+//
+// Faithfulness note: the paper's pseudocode initializes the local bound
+// with the running cost (line 11), which can leave an iteration without a
+// selected pattern. We implement the textual description instead — "the
+// algorithm iterates over all the triple patterns and chooses a triple
+// pattern with the least estimated join cardinality given the triples
+// already selected" — i.e. an unconditional arg-min over the remaining
+// patterns, with Cartesian products as the fallback when nothing joins.
+#pragma once
+
+#include "card/provider.h"
+#include "opt/plan.h"
+#include "sparql/encoded_bgp.h"
+
+namespace shapestats::opt {
+
+/// Computes a join order for `bgp` using `provider`'s estimates.
+/// Complexity O(n^3) in the number of triple patterns, as in the paper.
+Plan PlanJoinOrder(const sparql::EncodedBgp& bgp,
+                   const card::PlannerStatsProvider& provider);
+
+}  // namespace shapestats::opt

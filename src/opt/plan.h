@@ -1,0 +1,39 @@
+// Query plan representation: a join order over the BGP's triple patterns
+// (Definition 4.1) with the estimates that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "card/provider.h"
+#include "sparql/encoded_bgp.h"
+
+namespace shapestats::opt {
+
+/// A left-deep join order. `order[k]` is the index (into
+/// EncodedBgp::patterns) of the pattern joined at step k.
+struct Plan {
+  std::vector<uint32_t> order;
+
+  /// Estimates per step: step_estimates[0] is the first pattern's estimated
+  /// cardinality; step_estimates[k] (k >= 1) is the estimated join
+  /// cardinality when pattern order[k] is added (the EZ Card column of
+  /// Table 2).
+  std::vector<double> step_estimates;
+
+  /// Per-pattern TP estimates as computed by the provider (the E_TP column).
+  std::vector<card::TpEstimate> tp_estimates;
+
+  /// Sum of step_estimates — the paper's plan cost (Problem 2: "obtained by
+  /// summing up the intermediate cardinalities of each join operation").
+  double total_cost = 0;
+
+  /// Label of the statistics provider that produced the plan.
+  std::string provider;
+
+  /// True if some step was a Cartesian product.
+  bool has_cartesian = false;
+};
+
+}  // namespace shapestats::opt

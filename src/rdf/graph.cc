@@ -1,0 +1,187 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace shapestats::rdf {
+
+namespace {
+
+// Component-order comparators. Ids are compared as unsigned integers; the
+// sort order carries no semantics beyond index lookup.
+struct LessSPO {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct LessPOS {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct LessOSP {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+struct LessPSO {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.s != b.s) return a.s < b.s;
+    return a.o < b.o;
+  }
+};
+
+constexpr TermId kMin = 0;
+constexpr TermId kMax = ~TermId{0};
+
+template <typename Less>
+std::span<const Triple> Range(const std::vector<Triple>& index, const Triple& lo,
+                              const Triple& hi) {
+  auto begin = std::lower_bound(index.begin(), index.end(), lo, Less{});
+  auto end = std::upper_bound(begin, index.end(), hi, Less{});
+  return {&*begin, static_cast<size_t>(end - begin)};
+}
+
+}  // namespace
+
+void Graph::Add(TermId s, TermId p, TermId o) {
+  assert(!finalized_ && "Add after Finalize");
+  assert(s != kInvalidTermId && p != kInvalidTermId && o != kInvalidTermId);
+  spo_.push_back(Triple{s, p, o});
+}
+
+void Graph::Add(const Term& s, const Term& p, const Term& o) {
+  Add(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
+}
+
+void Graph::Finalize() {
+  assert(!finalized_);
+  std::sort(spo_.begin(), spo_.end(), LessSPO{});
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  spo_.shrink_to_fit();
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), LessPOS{});
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), LessOSP{});
+  pso_ = spo_;
+  std::sort(pso_.begin(), pso_.end(), LessPSO{});
+  finalized_ = true;
+}
+
+std::span<const Triple> Graph::Match(OptId s, OptId p, OptId o) const {
+  assert(finalized_ && "Match before Finalize");
+  const bool bs = s.has_value(), bp = p.has_value(), bo = o.has_value();
+  if (bs) {
+    if (bp) {
+      // (S,P,?) or (S,P,O) — SPO prefix.
+      return Range<LessSPO>(spo_, Triple{*s, *p, bo ? *o : kMin},
+                            Triple{*s, *p, bo ? *o : kMax});
+    }
+    if (bo) {
+      // (S,?,O) — OSP prefix (o, s).
+      return Range<LessOSP>(osp_, Triple{*s, kMin, *o}, Triple{*s, kMax, *o});
+    }
+    // (S,?,?) — SPO prefix.
+    return Range<LessSPO>(spo_, Triple{*s, kMin, kMin}, Triple{*s, kMax, kMax});
+  }
+  if (bp) {
+    // (?,P,O) or (?,P,?) — POS prefix.
+    return Range<LessPOS>(pos_, Triple{kMin, *p, bo ? *o : kMin},
+                          Triple{kMax, *p, bo ? *o : kMax});
+  }
+  if (bo) {
+    // (?,?,O) — OSP prefix.
+    return Range<LessOSP>(osp_, Triple{kMin, kMin, *o}, Triple{kMax, kMax, *o});
+  }
+  return {spo_.data(), spo_.size()};
+}
+
+uint64_t Graph::CountMatches(OptId s, OptId p, OptId o) const {
+  return Match(s, p, o).size();
+}
+
+bool Graph::Contains(TermId s, TermId p, TermId o) const {
+  return !Match(s, p, o).empty();
+}
+
+void Graph::ForEachMatch(OptId s, OptId p, OptId o,
+                         const std::function<void(const Triple&)>& fn) const {
+  for (const Triple& t : Match(s, p, o)) fn(t);
+}
+
+std::span<const Triple> Graph::PredicateBySubject(TermId p) const {
+  assert(finalized_);
+  return Range<LessPSO>(pso_, Triple{kMin, p, kMin}, Triple{kMax, p, kMax});
+}
+
+std::span<const Triple> Graph::PredicateByObject(TermId p) const {
+  assert(finalized_);
+  return Range<LessPOS>(pos_, Triple{kMin, p, kMin}, Triple{kMax, p, kMax});
+}
+
+uint64_t Graph::CountDistinctSubjects(TermId p) const {
+  auto run = PredicateBySubject(p);
+  uint64_t count = 0;
+  TermId prev = kInvalidTermId;
+  for (const Triple& t : run) {
+    if (t.s != prev) {
+      ++count;
+      prev = t.s;
+    }
+  }
+  return count;
+}
+
+uint64_t Graph::CountDistinctObjects(TermId p) const {
+  auto run = PredicateByObject(p);
+  uint64_t count = 0;
+  TermId prev = kInvalidTermId;
+  for (const Triple& t : run) {
+    if (t.o != prev) {
+      ++count;
+      prev = t.o;
+    }
+  }
+  return count;
+}
+
+uint64_t Graph::CountDistinctSubjects() const {
+  assert(finalized_);
+  uint64_t count = 0;
+  TermId prev = kInvalidTermId;
+  for (const Triple& t : spo_) {
+    if (t.s != prev) {
+      ++count;
+      prev = t.s;
+    }
+  }
+  return count;
+}
+
+uint64_t Graph::CountDistinctObjects() const {
+  assert(finalized_);
+  uint64_t count = 0;
+  TermId prev = kInvalidTermId;
+  for (const Triple& t : osp_) {
+    if (t.o != prev) {
+      ++count;
+      prev = t.o;
+    }
+  }
+  return count;
+}
+
+size_t Graph::IndexBytes() const {
+  return (spo_.capacity() + pos_.capacity() + osp_.capacity() + pso_.capacity()) *
+         sizeof(Triple);
+}
+
+}  // namespace shapestats::rdf

@@ -1,0 +1,102 @@
+// In-memory triple store with sorted-array indexes. This is the substrate
+// that stands in for Jena TDB in the paper's setup: it answers triple
+// pattern scans for the executor and the analytical counting queries issued
+// by the statistics annotator.
+//
+// Index coverage (component order of the sort key):
+//   SPO  — patterns binding S, (S,P), or (S,P,O)
+//   POS  — patterns binding P or (P,O)
+//   OSP  — patterns binding O or (O,S)
+//   PSO  — distinct-subject walks per predicate (annotator, global stats)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace shapestats::rdf {
+
+/// One component of a triple pattern: either a bound TermId or a wildcard.
+using OptId = std::optional<TermId>;
+
+/// Mutable-until-finalized RDF graph. Usage:
+///   Graph g;
+///   g.Add(...); ...; g.Finalize();
+///   g.Match(s, p, o) / g.CountMatches(...)
+/// Owns its TermDictionary.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Movable, not copyable (indexes can be hundreds of MB).
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  TermDictionary& dict() { return dict_; }
+  const TermDictionary& dict() const { return dict_; }
+
+  /// Adds a triple by ids. Duplicates are removed at Finalize().
+  void Add(TermId s, TermId p, TermId o);
+
+  /// Adds a triple of decoded terms (interns them).
+  void Add(const Term& s, const Term& p, const Term& o);
+
+  /// Sorts and deduplicates, builds all indexes. Must be called before any
+  /// Match/Count query; Add after Finalize is an error.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t NumTriples() const { return spo_.size(); }
+
+  /// All triples in SPO order.
+  std::span<const Triple> triples() const { return spo_; }
+
+  /// Triples matching a pattern, as a contiguous span of one index.
+  /// For the (S, ?, O) pattern the result comes from the OSP index with a
+  /// two-component prefix, so no post-filtering is ever needed.
+  std::span<const Triple> Match(OptId s, OptId p, OptId o) const;
+
+  /// Number of triples matching the pattern.
+  uint64_t CountMatches(OptId s, OptId p, OptId o) const;
+
+  /// True if the exact triple is present.
+  bool Contains(TermId s, TermId p, TermId o) const;
+
+  /// Calls `fn` for every triple matching the pattern.
+  void ForEachMatch(OptId s, OptId p, OptId o,
+                    const std::function<void(const Triple&)>& fn) const;
+
+  /// Distinct subjects among triples with predicate `p`.
+  uint64_t CountDistinctSubjects(TermId p) const;
+  /// Distinct objects among triples with predicate `p`.
+  uint64_t CountDistinctObjects(TermId p) const;
+  /// Distinct subjects / objects over the whole graph.
+  uint64_t CountDistinctSubjects() const;
+  uint64_t CountDistinctObjects() const;
+
+  /// The PSO index span for predicate `p` (sorted by subject, then object).
+  std::span<const Triple> PredicateBySubject(TermId p) const;
+  /// The POS index span for predicate `p` (sorted by object, then subject).
+  std::span<const Triple> PredicateByObject(TermId p) const;
+
+  /// Approximate heap footprint of the triple indexes in bytes.
+  size_t IndexBytes() const;
+
+ private:
+  TermDictionary dict_;
+  bool finalized_ = false;
+  std::vector<Triple> spo_;  // before Finalize: unsorted staging area
+  std::vector<Triple> pos_;
+  std::vector<Triple> osp_;
+  std::vector<Triple> pso_;
+};
+
+}  // namespace shapestats::rdf

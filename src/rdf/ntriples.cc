@@ -1,0 +1,134 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace shapestats::rdf {
+
+namespace {
+
+// Splits one N-Triples line into subject / predicate / object text,
+// respecting quoted literals, and checking the trailing dot.
+Status SplitLine(std::string_view line, std::string_view* s, std::string_view* p,
+                 std::string_view* o) {
+  line = Trim(line);
+  if (line.empty() || line.back() != '.') {
+    return Status::ParseError("missing terminating '.': " + std::string(line));
+  }
+  line = Trim(line.substr(0, line.size() - 1));
+
+  // Scan three whitespace-separated tokens; the object may contain spaces
+  // inside a quoted literal.
+  size_t i = 0;
+  auto next_token = [&](std::string_view* out) -> Status {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size()) return Status::ParseError("truncated triple");
+    size_t start = i;
+    if (line[i] == '"') {
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == '"') {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      // Consume datatype/lang suffix.
+      while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    } else {
+      while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    }
+    *out = line.substr(start, i - start);
+    return Status::OK();
+  };
+  RETURN_NOT_OK(next_token(s));
+  RETURN_NOT_OK(next_token(p));
+  // Object: the remainder of the line (after trimming) is one term.
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  if (i >= line.size()) return Status::ParseError("truncated triple");
+  *o = Trim(line.substr(i));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, Graph* graph) {
+  if (graph->finalized()) {
+    return Status::InvalidArgument("graph already finalized");
+  }
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = Trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::string_view st, pt, ot;
+    Status split = SplitLine(line, &st, &pt, &ot);
+    if (!split.ok()) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                split.message());
+    }
+    auto s = ParseTerm(st);
+    auto p = ParseTerm(pt);
+    auto o = ParseTerm(ot);
+    for (const auto* r : {&s, &p, &o}) {
+      if (!r->ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  r->status().message());
+      }
+    }
+    if (!p->is_iri()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": predicate must be an IRI");
+    }
+    if (s->is_literal()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": subject must not be a literal");
+    }
+    graph->Add(*s, *p, *o);
+  }
+  return Status::OK();
+}
+
+Status LoadNTriplesFile(const std::string& path, Graph* graph) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNTriples(buf.str(), graph);
+}
+
+std::string WriteNTriples(const Graph& graph) {
+  std::string out;
+  const auto& dict = graph.dict();
+  for (const Triple& t : graph.triples()) {
+    out += dict.ToNTriples(t.s);
+    out += ' ';
+    out += dict.ToNTriples(t.p);
+    out += ' ';
+    out += dict.ToNTriples(t.o);
+    out += " .\n";
+  }
+  return out;
+}
+
+Status SaveNTriplesFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteNTriples(graph);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace shapestats::rdf

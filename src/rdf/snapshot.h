@@ -1,0 +1,21 @@
+// Binary snapshots of a graph (dictionary + triples): a fast persistence
+// path next to the textual N-Triples/Turtle formats. Round-trips the
+// dictionary ids, so downstream artifacts keyed by TermId (statistics,
+// summaries) remain valid across save/load.
+#pragma once
+
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace shapestats::rdf {
+
+/// Writes a finalized graph to a binary snapshot file.
+Status SaveSnapshot(const Graph& graph, const std::string& path);
+
+/// Loads a snapshot written by SaveSnapshot; returns a finalized graph
+/// whose TermIds equal the saved graph's.
+Result<Graph> LoadSnapshot(const std::string& path);
+
+}  // namespace shapestats::rdf

@@ -1,0 +1,74 @@
+#include "rdf/term.h"
+
+#include "rdf/vocab.h"
+#include "util/string_util.h"
+
+namespace shapestats::rdf {
+
+Term Term::IntLiteral(int64_t v) {
+  return Literal(std::to_string(v), std::string(vocab::kXsdInteger), "");
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical) + "\"";
+      if (!lang.empty()) {
+        out += "@" + lang;
+      } else if (!datatype.empty() && datatype != vocab::kXsdString) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+Result<Term> ParseTerm(std::string_view text) {
+  text = Trim(text);
+  if (text.empty()) return Status::ParseError("empty term");
+  if (text.front() == '<') {
+    if (text.back() != '>') {
+      return Status::ParseError("unterminated IRI: " + std::string(text));
+    }
+    return Term::Iri(std::string(text.substr(1, text.size() - 2)));
+  }
+  if (StartsWith(text, "_:")) {
+    return Term::Blank(std::string(text.substr(2)));
+  }
+  if (text.front() == '"') {
+    // Find the closing unescaped quote.
+    size_t end = std::string_view::npos;
+    for (size_t i = 1; i < text.size(); ++i) {
+      if (text[i] == '\\') {
+        ++i;
+        continue;
+      }
+      if (text[i] == '"') {
+        end = i;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated literal: " + std::string(text));
+    }
+    std::string value = UnescapeLiteral(text.substr(1, end - 1));
+    std::string_view rest = text.substr(end + 1);
+    if (rest.empty()) return Term::Literal(std::move(value));
+    if (rest.front() == '@') {
+      return Term::Literal(std::move(value), "", std::string(rest.substr(1)));
+    }
+    if (StartsWith(rest, "^^<") && rest.back() == '>') {
+      return Term::Literal(std::move(value),
+                           std::string(rest.substr(3, rest.size() - 4)));
+    }
+    return Status::ParseError("bad literal suffix: " + std::string(text));
+  }
+  return Status::ParseError("unrecognized term: " + std::string(text));
+}
+
+}  // namespace shapestats::rdf

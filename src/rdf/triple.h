@@ -1,0 +1,31 @@
+// Dictionary-encoded triple and triple-pattern primitives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "rdf/term.h"
+
+namespace shapestats::rdf {
+
+/// One encoded RDF triple <s, p, o>.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9E3779B97F4A7C15ULL + t.p;
+    h = h * 0x9E3779B97F4A7C15ULL + t.o;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace shapestats::rdf

@@ -1,0 +1,60 @@
+// Well-known IRIs used throughout the system: RDF/RDFS, XSD datatypes,
+// SHACL core terms, the paper's statistics extension, and VoID.
+#pragma once
+
+#include <string_view>
+
+namespace shapestats::rdf::vocab {
+
+// RDF / RDFS
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+// XSD datatypes
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+
+// SHACL core (https://www.w3.org/TR/shacl/)
+inline constexpr std::string_view kShNodeShape =
+    "http://www.w3.org/ns/shacl#NodeShape";
+inline constexpr std::string_view kShPropertyShape =
+    "http://www.w3.org/ns/shacl#PropertyShape";
+inline constexpr std::string_view kShTargetClass =
+    "http://www.w3.org/ns/shacl#targetClass";
+inline constexpr std::string_view kShProperty =
+    "http://www.w3.org/ns/shacl#property";
+inline constexpr std::string_view kShPath = "http://www.w3.org/ns/shacl#path";
+inline constexpr std::string_view kShClass = "http://www.w3.org/ns/shacl#class";
+inline constexpr std::string_view kShDatatype =
+    "http://www.w3.org/ns/shacl#datatype";
+inline constexpr std::string_view kShNodeKind =
+    "http://www.w3.org/ns/shacl#nodeKind";
+inline constexpr std::string_view kShIri = "http://www.w3.org/ns/shacl#IRI";
+inline constexpr std::string_view kShLiteral =
+    "http://www.w3.org/ns/shacl#Literal";
+
+// The paper's statistics extension reuses sh:minCount / sh:maxCount and adds
+// sh:count / sh:distinctCount (Section 5, Figure 3).
+inline constexpr std::string_view kShMinCount =
+    "http://www.w3.org/ns/shacl#minCount";
+inline constexpr std::string_view kShMaxCount =
+    "http://www.w3.org/ns/shacl#maxCount";
+inline constexpr std::string_view kShCount = "http://www.w3.org/ns/shacl#count";
+inline constexpr std::string_view kShDistinctCount =
+    "http://www.w3.org/ns/shacl#distinctCount";
+
+// VoID (global statistics carrier; the paper extends VoID with DSC/DOC).
+inline constexpr std::string_view kVoidTriples =
+    "http://rdfs.org/ns/void#triples";
+inline constexpr std::string_view kVoidProperty =
+    "http://rdfs.org/ns/void#property";
+inline constexpr std::string_view kVoidDistinctSubjects =
+    "http://rdfs.org/ns/void#distinctSubjects";
+inline constexpr std::string_view kVoidDistinctObjects =
+    "http://rdfs.org/ns/void#distinctObjects";
+
+}  // namespace shapestats::rdf::vocab

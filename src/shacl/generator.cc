@@ -1,0 +1,110 @@
+#include "shacl/generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rdf/vocab.h"
+
+namespace shapestats::shacl {
+
+namespace vocab = rdf::vocab;
+
+Result<ShapesGraph> GenerateShapes(const rdf::Graph& data,
+                                   const GeneratorOptions& options) {
+  if (!data.finalized()) {
+    return Status::InvalidArgument("data graph must be finalized");
+  }
+  const rdf::TermDictionary& dict = data.dict();
+  auto type = dict.FindIri(vocab::kRdfType);
+  if (!type) {
+    return Status::InvalidArgument("data graph has no rdf:type triples");
+  }
+
+  // Collect classes in deterministic (IRI) order.
+  std::map<std::string, rdf::TermId> classes;
+  {
+    std::set<rdf::TermId> seen;
+    for (const rdf::Triple& t : data.PredicateByObject(*type)) {
+      if (seen.insert(t.o).second) {
+        const rdf::Term& cls = dict.term(t.o);
+        if (cls.is_iri()) classes.emplace(cls.lexical, t.o);
+      }
+    }
+  }
+  if (classes.empty()) {
+    return Status::InvalidArgument("no classes found in data graph");
+  }
+
+  ShapesGraph shapes;
+  for (const auto& [cls_iri, cls_id] : classes) {
+    NodeShape ns;
+    ns.iri = options.shape_namespace + dict.Pretty(cls_id) + "Shape";
+    ns.target_class = cls_iri;
+
+    // Predicates used by instances of this class, with object samples.
+    struct PredInfo {
+      uint64_t instances_with = 0;  // instances having >= 1 such triple
+      bool objects_all_literals = true;
+      bool objects_all_iris = true;
+      std::string common_datatype;   // "" until first literal; "-" if mixed
+      rdf::TermId common_class = rdf::kInvalidTermId;  // 0 until first; ~0 mixed
+    };
+    std::map<std::string, PredInfo> preds;  // keyed by predicate IRI
+    uint64_t num_instances = 0;
+    for (const rdf::Triple& inst : data.Match(std::nullopt, *type, cls_id)) {
+      ++num_instances;
+      std::set<rdf::TermId> seen_preds;
+      for (const rdf::Triple& t : data.Match(inst.s, std::nullopt, std::nullopt)) {
+        if (t.p == *type) continue;
+        const rdf::Term& pred = dict.term(t.p);
+        PredInfo& info = preds[pred.lexical];
+        if (seen_preds.insert(t.p).second) ++info.instances_with;
+        const rdf::Term& obj = dict.term(t.o);
+        if (obj.is_literal()) {
+          info.objects_all_iris = false;
+          std::string dt =
+              obj.datatype.empty() ? std::string(vocab::kXsdString) : obj.datatype;
+          if (info.common_datatype.empty()) {
+            info.common_datatype = dt;
+          } else if (info.common_datatype != dt) {
+            info.common_datatype = "-";
+          }
+        } else {
+          info.objects_all_literals = false;
+          auto obj_types = data.Match(t.o, *type, std::nullopt);
+          rdf::TermId obj_cls =
+              obj_types.empty() ? static_cast<rdf::TermId>(~0u) : obj_types.front().o;
+          if (info.common_class == rdf::kInvalidTermId) {
+            info.common_class = obj_cls;
+          } else if (info.common_class != obj_cls) {
+            info.common_class = static_cast<rdf::TermId>(~0u);
+          }
+        }
+      }
+    }
+
+    for (const auto& [pred_iri, info] : preds) {
+      PropertyShape ps;
+      ps.iri = ns.iri + "-" + pred_iri.substr(pred_iri.find_last_of("#/") + 1);
+      ps.path = pred_iri;
+      if (options.infer_datatype && info.objects_all_literals &&
+          !info.common_datatype.empty() && info.common_datatype != "-") {
+        ps.datatype = info.common_datatype;
+      }
+      if (options.infer_object_class && info.objects_all_iris &&
+          info.common_class != rdf::kInvalidTermId &&
+          info.common_class != static_cast<rdf::TermId>(~0u)) {
+        ps.node_class = dict.term(info.common_class).lexical;
+      }
+      if (options.emit_min_count && info.instances_with == num_instances) {
+        ps.min_count = 1;
+      }
+      ns.properties.push_back(std::move(ps));
+    }
+    RETURN_NOT_OK(shapes.Add(std::move(ns)));
+  }
+  return shapes;
+}
+
+}  // namespace shapestats::shacl

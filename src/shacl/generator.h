@@ -1,0 +1,29 @@
+// Shape generation from data (the paper uses the SHACLGEN library for
+// datasets that ship without shapes, e.g. YAGO-4; this is the C++
+// equivalent). Produces un-annotated shapes: one node shape per class in
+// the data, one property shape per predicate used by instances of that
+// class, with sh:class / sh:datatype inferred when the objects are uniform.
+#pragma once
+
+#include "rdf/graph.h"
+#include "shacl/shapes.h"
+#include "util/status.h"
+
+namespace shapestats::shacl {
+
+struct GeneratorOptions {
+  /// Namespace for generated shape IRIs.
+  std::string shape_namespace = "http://shapestats.org/shapes#";
+  /// Infer sh:class when all sampled objects of a predicate share one type.
+  bool infer_object_class = true;
+  /// Infer sh:datatype when all sampled objects are literals of one type.
+  bool infer_datatype = true;
+  /// Emit sh:minCount 1 when every instance has the predicate.
+  bool emit_min_count = true;
+};
+
+/// Generates a shapes graph from a finalized data graph.
+Result<ShapesGraph> GenerateShapes(const rdf::Graph& data,
+                                   const GeneratorOptions& options = {});
+
+}  // namespace shapestats::shacl

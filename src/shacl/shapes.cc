@@ -1,0 +1,59 @@
+#include "shacl/shapes.h"
+
+namespace shapestats::shacl {
+
+const PropertyShape* NodeShape::FindProperty(std::string_view path) const {
+  for (const PropertyShape& ps : properties) {
+    if (ps.path == path) return &ps;
+  }
+  return nullptr;
+}
+
+Status ShapesGraph::Add(NodeShape shape) {
+  if (by_class_.count(shape.target_class)) {
+    return Status::AlreadyExists("a node shape already targets class " +
+                                 shape.target_class);
+  }
+  by_class_.emplace(shape.target_class, shapes_.size());
+  shapes_.push_back(std::move(shape));
+  return Status::OK();
+}
+
+size_t ShapesGraph::NumPropertyShapes() const {
+  size_t n = 0;
+  for (const NodeShape& s : shapes_) n += s.properties.size();
+  return n;
+}
+
+const NodeShape* ShapesGraph::FindByClass(std::string_view cls) const {
+  auto it = by_class_.find(std::string(cls));
+  if (it == by_class_.end()) return nullptr;
+  return &shapes_[it->second];
+}
+
+const PropertyShape* ShapesGraph::FindProperty(std::string_view cls,
+                                               std::string_view path) const {
+  const NodeShape* ns = FindByClass(cls);
+  return ns ? ns->FindProperty(path) : nullptr;
+}
+
+std::vector<const NodeShape*> ShapesGraph::CandidatesForPath(
+    std::string_view path) const {
+  std::vector<const NodeShape*> out;
+  for (const NodeShape& s : shapes_) {
+    if (s.FindProperty(path) != nullptr) out.push_back(&s);
+  }
+  return out;
+}
+
+bool ShapesGraph::FullyAnnotated() const {
+  for (const NodeShape& s : shapes_) {
+    if (!s.annotated()) return false;
+    for (const PropertyShape& ps : s.properties) {
+      if (!ps.annotated()) return false;
+    }
+  }
+  return !shapes_.empty();
+}
+
+}  // namespace shapestats::shacl

@@ -1,0 +1,26 @@
+// Serialization of shapes graphs to and from Turtle. The written form
+// matches Figure 3 of the paper: node shapes with sh:targetClass and
+// sh:property-linked anonymous property shapes; annotated statistics are
+// emitted as sh:count / sh:minCount / sh:maxCount / sh:distinctCount.
+#pragma once
+
+#include <string>
+
+#include "rdf/graph.h"
+#include "shacl/shapes.h"
+#include "util/status.h"
+
+namespace shapestats::shacl {
+
+/// Renders a shapes graph as Turtle.
+std::string WriteShapesTurtle(const ShapesGraph& shapes);
+
+/// Parses a shapes graph from Turtle text.
+Result<ShapesGraph> ReadShapesTurtle(std::string_view text);
+
+/// Extracts a shapes graph from an already-parsed RDF graph (which must be
+/// finalized). Recognizes sh:NodeShape resources, sh:targetClass,
+/// sh:property links, and the statistics attributes.
+Result<ShapesGraph> ShapesFromRdf(const rdf::Graph& graph);
+
+}  // namespace shapestats::shacl

@@ -1,0 +1,36 @@
+#include "sparql/encoded_bgp.h"
+
+#include <unordered_map>
+
+namespace shapestats::sparql {
+
+EncodedBgp EncodeBgp(const ParsedQuery& query, const rdf::TermDictionary& dict) {
+  EncodedBgp out;
+  std::unordered_map<std::string, VarId> var_ids;
+  auto encode = [&](const PatternTerm& t) -> EncodedTerm {
+    if (IsVar(t)) {
+      const std::string& name = AsVar(t).name;
+      auto it = var_ids.find(name);
+      if (it == var_ids.end()) {
+        VarId id = static_cast<VarId>(out.var_names.size());
+        out.var_names.push_back(name);
+        it = var_ids.emplace(name, id).first;
+      }
+      return EncodedTerm::Var(it->second);
+    }
+    auto id = dict.Find(AsTerm(t));
+    return id ? EncodedTerm::Bound(*id) : EncodedTerm::Missing();
+  };
+  uint32_t index = 0;
+  for (const TriplePattern& tp : query.patterns) {
+    EncodedPattern ep;
+    ep.s = encode(tp.s);
+    ep.p = encode(tp.p);
+    ep.o = encode(tp.o);
+    ep.input_index = index++;
+    out.patterns.push_back(ep);
+  }
+  return out;
+}
+
+}  // namespace shapestats::sparql

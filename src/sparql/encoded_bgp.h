@@ -1,0 +1,64 @@
+// Dictionary-encoded BGP: the bridge between the parsed AST (strings) and
+// everything downstream (estimators, optimizers, executor), which work on
+// TermIds and dense variable indexes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace shapestats::sparql {
+
+/// Variable index within one encoded BGP.
+using VarId = uint32_t;
+
+/// One position of an encoded triple pattern.
+struct EncodedTerm {
+  enum class Kind : uint8_t {
+    kVar,      // id is a VarId
+    kBound,    // id is a rdf::TermId present in the data dictionary
+    kMissing,  // constant that does not occur in the dataset (matches nothing)
+  };
+  Kind kind = Kind::kVar;
+  uint32_t id = 0;
+
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_bound() const { return kind == Kind::kBound; }
+  bool is_missing() const { return kind == Kind::kMissing; }
+
+  static EncodedTerm Var(VarId v) { return {Kind::kVar, v}; }
+  static EncodedTerm Bound(rdf::TermId t) { return {Kind::kBound, t}; }
+  static EncodedTerm Missing() { return {Kind::kMissing, 0}; }
+};
+
+/// Encoded triple pattern. `input_index` is the position in the original
+/// query text (the paper's tp_1..tp_n numbering).
+struct EncodedPattern {
+  EncodedTerm s, p, o;
+  uint32_t input_index = 0;
+
+  /// True if any constant is absent from the data (the pattern matches 0
+  /// triples).
+  bool HasMissingConstant() const {
+    return s.is_missing() || p.is_missing() || o.is_missing();
+  }
+};
+
+/// A whole encoded BGP plus the variable name table.
+struct EncodedBgp {
+  std::vector<EncodedPattern> patterns;
+  std::vector<std::string> var_names;  // index = VarId
+
+  size_t NumVars() const { return var_names.size(); }
+};
+
+/// Encodes `query`'s BGP against `dict`. Constants not present in the
+/// dictionary become kMissing terms (cardinality 0), not errors — a query
+/// mentioning an unknown IRI is valid and simply has an empty answer.
+EncodedBgp EncodeBgp(const ParsedQuery& query, const rdf::TermDictionary& dict);
+
+}  // namespace shapestats::sparql

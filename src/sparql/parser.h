@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SPARQL SELECT subset used by the
+// benchmarks: PREFIX declarations, SELECT [DISTINCT] (?v... | *),
+// WHERE { BGP }, LIMIT n. The BGP supports the 'a' keyword, prefixed
+// names, IRIs, and string/integer literals; FILTER/OPTIONAL/UNION are
+// rejected with ParseError (the paper's study covers plain BGPs).
+#pragma once
+
+#include <string_view>
+
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace shapestats::sparql {
+
+/// Parses SPARQL text into a ParsedQuery.
+Result<ParsedQuery> ParseQuery(std::string_view text);
+
+}  // namespace shapestats::sparql

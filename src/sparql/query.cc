@@ -1,0 +1,43 @@
+#include "sparql/query.h"
+
+#include <unordered_set>
+
+namespace shapestats::sparql {
+
+namespace {
+std::string TermToString(const PatternTerm& t) {
+  if (IsVar(t)) return "?" + AsVar(t).name;
+  return AsTerm(t).ToNTriples();
+}
+}  // namespace
+
+std::string TriplePattern::ToString() const {
+  return TermToString(s) + " " + TermToString(p) + " " + TermToString(o);
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::vector<Variable> ParsedQuery::AllVariables() const {
+  std::vector<Variable> out;
+  std::unordered_set<std::string> seen;
+  for (const TriplePattern& tp : patterns) {
+    for (const PatternTerm* t : {&tp.s, &tp.p, &tp.o}) {
+      if (IsVar(*t) && seen.insert(AsVar(*t).name).second) {
+        out.push_back(AsVar(*t));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shapestats::sparql

@@ -1,0 +1,151 @@
+#include "sparql/query_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace shapestats::sparql {
+
+namespace {
+
+struct VarAt {
+  VarId var;
+  TermPos pos;
+};
+
+std::vector<VarAt> VarsOf(const EncodedPattern& tp) {
+  std::vector<VarAt> out;
+  if (tp.s.is_var()) out.push_back({tp.s.id, TermPos::kSubject});
+  if (tp.p.is_var()) out.push_back({tp.p.id, TermPos::kPredicate});
+  if (tp.o.is_var()) out.push_back({tp.o.id, TermPos::kObject});
+  return out;
+}
+
+}  // namespace
+
+std::vector<SharedVar> SharedVars(const EncodedPattern& a, const EncodedPattern& b) {
+  std::vector<SharedVar> out;
+  for (const VarAt& va : VarsOf(a)) {
+    for (const VarAt& vb : VarsOf(b)) {
+      if (va.var == vb.var) out.push_back({va.var, va.pos, vb.pos});
+    }
+  }
+  return out;
+}
+
+bool Joinable(const EncodedPattern& a, const EncodedPattern& b) {
+  return !SharedVars(a, b).empty();
+}
+
+const char* QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kStar: return "star";
+    case QueryShape::kSnowflake: return "snowflake";
+    case QueryShape::kComplex: return "complex";
+  }
+  return "?";
+}
+
+QueryShape ClassifyShape(const EncodedBgp& bgp) {
+  if (bgp.patterns.empty()) return QueryShape::kComplex;
+
+  // Star: one shared subject variable across all patterns.
+  bool star = true;
+  if (!bgp.patterns[0].s.is_var()) {
+    star = false;
+  } else {
+    VarId center = bgp.patterns[0].s.id;
+    for (const EncodedPattern& tp : bgp.patterns) {
+      if (!tp.s.is_var() || tp.s.id != center) {
+        star = false;
+        break;
+      }
+    }
+  }
+  if (star) return QueryShape::kStar;
+
+  // Group patterns by subject variable; constants or unique subjects form
+  // singleton groups.
+  std::map<std::pair<bool, uint32_t>, int> group_of_subject;
+  std::vector<int> group(bgp.patterns.size(), -1);
+  int num_groups = 0;
+  for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+    const EncodedPattern& tp = bgp.patterns[i];
+    if (tp.s.is_var()) {
+      auto key = std::make_pair(true, tp.s.id);
+      auto it = group_of_subject.find(key);
+      if (it == group_of_subject.end()) {
+        it = group_of_subject.emplace(key, num_groups++).first;
+      }
+      group[i] = it->second;
+    } else {
+      group[i] = num_groups++;
+    }
+  }
+
+  // Linking variables act as hyperedges: a variable shared by three stars
+  // still forms a tree (hub), so the tree test runs on the bipartite graph
+  // of groups and linking variables rather than on pairwise group edges.
+  std::map<uint32_t, std::set<int>> var_groups;  // var -> groups it touches
+  for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+    const EncodedPattern& tp = bgp.patterns[i];
+    for (const VarAt& v : VarsOf(tp)) var_groups[v.var].insert(group[i]);
+  }
+  int num_links = 0;
+  size_t num_edges = 0;
+  std::vector<std::vector<int>> group_adj(num_groups);  // group -> link ids
+  std::vector<std::vector<int>> link_adj;               // link id -> groups
+  for (const auto& [var, touched] : var_groups) {
+    (void)var;
+    if (touched.size() < 2) continue;
+    int link = num_links++;
+    link_adj.emplace_back(touched.begin(), touched.end());
+    for (int grp : touched) group_adj[grp].push_back(link);
+    num_edges += touched.size();
+  }
+
+  // Connectivity over the bipartite graph (nodes: groups + links).
+  std::vector<bool> seen_group(num_groups, false);
+  std::vector<bool> seen_link(num_links, false);
+  std::vector<std::pair<bool, int>> stack{{false, 0}};  // (is_link, id)
+  seen_group[0] = true;
+  int reached = 1;
+  while (!stack.empty()) {
+    auto [is_link, id] = stack.back();
+    stack.pop_back();
+    if (is_link) {
+      for (int grp : link_adj[id]) {
+        if (!seen_group[grp]) {
+          seen_group[grp] = true;
+          ++reached;
+          stack.push_back({false, grp});
+        }
+      }
+    } else {
+      for (int link : group_adj[id]) {
+        if (!seen_link[link]) {
+          seen_link[link] = true;
+          ++reached;
+          stack.push_back({true, link});
+        }
+      }
+    }
+  }
+  int num_nodes = num_groups + num_links;
+  bool connected = reached == num_nodes;
+  bool acyclic = num_edges == static_cast<size_t>(num_nodes) - 1;
+  if (connected && acyclic && num_groups >= 2) return QueryShape::kSnowflake;
+  return QueryShape::kComplex;
+}
+
+std::vector<std::vector<VarOccurrence>> VarOccurrences(const EncodedBgp& bgp) {
+  std::vector<std::vector<VarOccurrence>> out(bgp.NumVars());
+  for (uint32_t i = 0; i < bgp.patterns.size(); ++i) {
+    for (const VarAt& v : VarsOf(bgp.patterns[i])) {
+      out[v.var].push_back({i, v.pos});
+    }
+  }
+  return out;
+}
+
+}  // namespace shapestats::sparql

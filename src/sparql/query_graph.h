@@ -1,0 +1,58 @@
+// Query-graph analysis over an encoded BGP: which patterns join on which
+// variables and in which positions (the paper's SS / SO / OO join types,
+// Section 6.2), and the structural class of the query (star / snowflake /
+// complex) used to label the benchmark workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparql/encoded_bgp.h"
+
+namespace shapestats::sparql {
+
+/// Position of a variable inside a triple pattern.
+enum class TermPos : uint8_t { kSubject = 0, kPredicate = 1, kObject = 2 };
+
+/// One shared variable between two patterns.
+struct SharedVar {
+  VarId var;
+  TermPos pos_a;
+  TermPos pos_b;
+};
+
+/// All variables shared between patterns `a` and `b` with their positions.
+/// A variable occurring twice within one pattern yields one entry per
+/// position pair.
+std::vector<SharedVar> SharedVars(const EncodedPattern& a, const EncodedPattern& b);
+
+/// True if the two patterns share at least one variable (joinable without a
+/// Cartesian product).
+bool Joinable(const EncodedPattern& a, const EncodedPattern& b);
+
+/// Structural query classes used in the paper's evaluation (Section 7):
+/// star (S), snowflake (F), and complex (C). Chains and cyclic patterns are
+/// classified as complex.
+enum class QueryShape { kStar, kSnowflake, kComplex };
+
+const char* QueryShapeName(QueryShape shape);
+
+/// Classifies an encoded BGP:
+///  - kStar: every pattern has the same subject variable;
+///  - kSnowflake: the subject-star groups form a tree of size >= 2 (each
+///    group connected, acyclic at the group level);
+///  - kComplex: everything else (cycles, disconnected parts, object-only
+///    hubs).
+QueryShape ClassifyShape(const EncodedBgp& bgp);
+
+/// Per-variable occurrence info, used by optimizers and the executor.
+struct VarOccurrence {
+  uint32_t pattern_index;  // index into EncodedBgp::patterns
+  TermPos pos;
+};
+
+/// occurrences[v] lists where variable v appears.
+std::vector<std::vector<VarOccurrence>> VarOccurrences(const EncodedBgp& bgp);
+
+}  // namespace shapestats::sparql

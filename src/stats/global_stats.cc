@@ -1,0 +1,81 @@
+#include "stats/global_stats.h"
+
+#include <set>
+
+#include "rdf/vocab.h"
+
+namespace shapestats::stats {
+
+GlobalStats GlobalStats::Compute(const rdf::Graph& graph) {
+  GlobalStats out;
+  out.num_triples = graph.NumTriples();
+  out.num_distinct_subjects = graph.CountDistinctSubjects();
+  out.num_distinct_objects = graph.CountDistinctObjects();
+
+  // One pass over the POS index: predicate runs are contiguous, and within a
+  // run objects are sorted, so DOC is a run-length count. DSC needs the PSO
+  // index per predicate.
+  std::set<rdf::TermId> preds;
+  for (const rdf::Triple& t : graph.triples()) preds.insert(t.p);
+  for (rdf::TermId p : preds) {
+    PredicateStats ps;
+    ps.count = graph.PredicateBySubject(p).size();
+    ps.dsc = graph.CountDistinctSubjects(p);
+    ps.doc = graph.CountDistinctObjects(p);
+    out.by_predicate.emplace(p, ps);
+  }
+
+  auto type = graph.dict().FindIri(rdf::vocab::kRdfType);
+  if (type && out.by_predicate.count(*type)) {
+    out.rdf_type_id = *type;
+    const PredicateStats& ts = out.by_predicate[*type];
+    out.num_type_triples = ts.count;
+    out.num_type_subjects = ts.dsc;
+    out.num_distinct_classes = ts.doc;
+    // Per-class instance counts from the POS run of rdf:type.
+    auto run = graph.PredicateByObject(*type);
+    rdf::TermId current = rdf::kInvalidTermId;
+    uint64_t count = 0;
+    for (const rdf::Triple& t : run) {
+      if (t.o != current) {
+        if (current != rdf::kInvalidTermId) out.class_counts[current] = count;
+        current = t.o;
+        count = 0;
+      }
+      ++count;
+    }
+    if (current != rdf::kInvalidTermId) out.class_counts[current] = count;
+  }
+  return out;
+}
+
+size_t GlobalStats::MemoryBytes() const {
+  return sizeof(GlobalStats) +
+         by_predicate.size() * (sizeof(rdf::TermId) + sizeof(PredicateStats) + 16) +
+         class_counts.size() * (sizeof(rdf::TermId) + sizeof(uint64_t) + 16);
+}
+
+std::string WriteVoidTurtle(const GlobalStats& stats,
+                            const rdf::TermDictionary& dict) {
+  std::string out;
+  out += "@prefix void: <http://rdfs.org/ns/void#> .\n";
+  out += "@prefix ss: <http://shapestats.org/void-ext#> .\n\n";
+  out += "<http://shapestats.org/dataset> void:triples " +
+         std::to_string(stats.num_triples) + " ;\n";
+  out += "    void:distinctSubjects " + std::to_string(stats.num_distinct_subjects) +
+         " ;\n";
+  out += "    void:distinctObjects " + std::to_string(stats.num_distinct_objects) +
+         " ;\n";
+  out += "    ss:typeTriples " + std::to_string(stats.num_type_triples) + " ;\n";
+  out += "    ss:distinctClasses " + std::to_string(stats.num_distinct_classes) +
+         " .\n\n";
+  for (const auto& [p, ps] : stats.by_predicate) {
+    out += "[ void:property <" + dict.term(p).lexical + "> ;\n";
+    out += "  void:triples " + std::to_string(ps.count) + " ;\n";
+    out += "  void:distinctSubjects " + std::to_string(ps.dsc) + " ;\n";
+    out += "  void:distinctObjects " + std::to_string(ps.doc) + " ] .\n";
+  }
+  return out;
+}
+
+}  // namespace shapestats::stats

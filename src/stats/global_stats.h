@@ -1,0 +1,60 @@
+// Global (VoID-extended) statistics: whole-graph counts plus per-predicate
+// triple count, distinct subject count (DSC) and distinct object count
+// (DOC) — the paper's extension of VoID (Section 5) — and per-class entity
+// counts used by the rdf:type rows of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace shapestats::stats {
+
+/// Per-predicate statistics.
+struct PredicateStats {
+  uint64_t count = 0;  // triples with this predicate
+  uint64_t dsc = 0;    // distinct subjects
+  uint64_t doc = 0;    // distinct objects
+};
+
+/// Whole-dataset statistics snapshot.
+struct GlobalStats {
+  uint64_t num_triples = 0;
+  uint64_t num_distinct_subjects = 0;
+  uint64_t num_distinct_objects = 0;
+
+  // rdf:type aggregates (Table 1, bottom rows).
+  uint64_t num_type_triples = 0;          // c_{rdf:type}
+  uint64_t num_type_subjects = 0;         // distinct typed entities
+  uint64_t num_distinct_classes = 0;      // distinct rdf:type objects
+
+  rdf::TermId rdf_type_id = rdf::kInvalidTermId;  // 0 if no type triples
+
+  std::unordered_map<rdf::TermId, PredicateStats> by_predicate;
+  std::unordered_map<rdf::TermId, uint64_t> class_counts;  // class -> instances
+
+  /// Scans a finalized graph and computes all statistics.
+  static GlobalStats Compute(const rdf::Graph& graph);
+
+  const PredicateStats* Predicate(rdf::TermId p) const {
+    auto it = by_predicate.find(p);
+    return it == by_predicate.end() ? nullptr : &it->second;
+  }
+
+  uint64_t ClassCount(rdf::TermId cls) const {
+    auto it = class_counts.find(cls);
+    return it == class_counts.end() ? 0 : it->second;
+  }
+
+  /// Approximate in-memory footprint in bytes (for the preprocessing bench).
+  size_t MemoryBytes() const;
+};
+
+/// Serializes the statistics as extended-VoID Turtle (one void:propertyPartition
+/// per predicate with void:triples / void:distinctSubjects / void:distinctObjects).
+std::string WriteVoidTurtle(const GlobalStats& stats, const rdf::TermDictionary& dict);
+
+}  // namespace shapestats::stats

@@ -1,0 +1,38 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace shapestats {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF rejection-free approximation: draw u, walk the harmonic CDF.
+  // For the sizes used by the generators (n <= ~10k classes) a direct walk
+  // over a cached CDF would cost memory per distinct (n, s); instead use
+  // the standard rejection method of Devroye which is O(1) amortized.
+  const double b = std::pow(2.0, s - 1.0);
+  while (true) {
+    double u = UniformReal();
+    double v = UniformReal();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0 == 0.0 ? 1e-9 : s - 1.0)));
+    if (s <= 1.0) {
+      // Fallback for s <= 1: weighted pick over 1/(k+1)^s using Bernoulli walk.
+      double total = 0;
+      for (uint64_t k = 0; k < n; ++k) total += 1.0 / std::pow(double(k + 1), s);
+      double target = u * total;
+      double acc = 0;
+      for (uint64_t k = 0; k < n; ++k) {
+        acc += 1.0 / std::pow(double(k + 1), s);
+        if (acc >= target) return k;
+      }
+      return n - 1;
+    }
+    if (x < 1.0 || x > double(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace shapestats

@@ -1,0 +1,51 @@
+// Seeded randomness helpers. Everything in the repo that is stochastic
+// (data generators, shuffled workloads) routes through Rng so that runs
+// are reproducible from a printed seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace shapestats {
+
+/// Deterministic random source (mt19937_64 under the hood).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    std::uniform_int_distribution<uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  /// Zipf-distributed rank in [0, n-1] with exponent `s` (s > 0).
+  /// Rank 0 is the most likely outcome.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace shapestats

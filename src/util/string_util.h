@@ -1,0 +1,37 @@
+// Small string helpers shared across parsers and table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shapestats {
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string WithCommas(uint64_t n);
+
+/// Formats a double compactly (up to 2 decimals, trailing zeros trimmed).
+std::string CompactDouble(double v);
+
+/// Escapes a literal for N-Triples output (backslash, quote, newline, tab).
+std::string EscapeLiteral(std::string_view raw);
+
+/// Reverses EscapeLiteral.
+std::string UnescapeLiteral(std::string_view escaped);
+
+}  // namespace shapestats

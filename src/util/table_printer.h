@@ -1,0 +1,31 @@
+// Fixed-width ASCII table rendering for bench output, so the harness can
+// print the same rows/series the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shapestats {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table, including a header separator line.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace shapestats

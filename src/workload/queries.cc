@@ -1,0 +1,410 @@
+#include "workload/queries.h"
+
+namespace shapestats::workload {
+
+namespace {
+
+const char* kUbPrefix =
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n";
+
+std::string Lubm(const std::string& body) {
+  return std::string(kUbPrefix) + "SELECT * WHERE {\n" + body + "}\n";
+}
+
+const char* kWatPrefix =
+    "PREFIX wsdbm: <http://db.uwaterloo.ca/~galuc/wsdbm/>\n"
+    "PREFIX sorg: <http://schema.org/>\n"
+    "PREFIX rev: <http://purl.org/stuff/rev#>\n";
+
+std::string Wat(const std::string& body) {
+  return std::string(kWatPrefix) + "SELECT * WHERE {\n" + body + "}\n";
+}
+
+const char* kYagoPrefix =
+    "PREFIX schema: <http://schema.org/>\n"
+    "PREFIX yago: <http://yago-knowledge.org/resource/>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n";
+
+std::string Yago(const std::string& body) {
+  return std::string(kYagoPrefix) + "SELECT * WHERE {\n" + body + "}\n";
+}
+
+}  // namespace
+
+const std::string& LubmExampleQuery() {
+  static const std::string q = Lubm(
+      "  ?A a ub:FullProfessor .\n"
+      "  ?A ub:name ?N .\n"
+      "  ?A ub:teacherOf ?C .\n"
+      "  ?C a ub:GraduateCourse .\n"
+      "  ?X ub:advisor ?A .\n"
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?X ub:degreeFrom ?U .\n"
+      "  ?Y ub:takesCourse ?C .\n"
+      "  ?Y a ub:GraduateStudent\n");
+  return q;
+}
+
+std::vector<BenchQuery> LubmQueries() {
+  std::vector<BenchQuery> qs;
+  auto add = [&](const char* label, char family, const std::string& text) {
+    qs.push_back({label, family, text});
+  };
+
+  // --- LUBM default queries (adapted) ---
+  add("Q2", 'Q', Lubm(
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?Y a ub:University .\n"
+      "  ?Z a ub:Department .\n"
+      "  ?X ub:memberOf ?Z .\n"
+      "  ?Z ub:subOrganizationOf ?Y .\n"
+      "  ?X ub:degreeFrom ?Y\n"));
+  add("Q4", 'Q', Lubm(
+      "  ?X a ub:AssociateProfessor .\n"
+      "  ?X ub:worksFor <http://www.Department0.University0.edu/> .\n"
+      "  ?X ub:name ?N .\n"
+      "  ?X ub:emailAddress ?E .\n"
+      "  ?X ub:telephone ?T\n"));
+  add("Q8", 'Q', Lubm(
+      "  ?X a ub:UndergraduateStudent .\n"
+      "  ?Y a ub:Department .\n"
+      "  ?X ub:memberOf ?Y .\n"
+      "  ?Y ub:subOrganizationOf <http://www.University0.edu> .\n"
+      "  ?X ub:emailAddress ?Z\n"));
+  add("Q9", 'Q', Lubm(
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?Y a ub:FullProfessor .\n"
+      "  ?Z a ub:GraduateCourse .\n"
+      "  ?X ub:advisor ?Y .\n"
+      "  ?Y ub:teacherOf ?Z .\n"
+      "  ?X ub:takesCourse ?Z\n"));
+  add("Q12", 'Q', Lubm(
+      "  ?X a ub:FullProfessor .\n"
+      "  ?Y a ub:Department .\n"
+      "  ?X ub:headOf ?Y .\n"
+      "  ?Y ub:subOrganizationOf <http://www.University0.edu>\n"));
+
+  // --- complex ---
+  add("C0", 'C', LubmExampleQuery());
+  add("C1", 'C', Lubm(
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?P a ub:AssociateProfessor .\n"
+      "  ?C a ub:GraduateCourse .\n"
+      "  ?X ub:advisor ?P .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?P ub:name ?N\n"));
+  add("C2", 'C', Lubm(
+      "  ?P a ub:Publication .\n"
+      "  ?P ub:publicationAuthor ?A .\n"
+      "  ?A a ub:AssociateProfessor .\n"
+      "  ?A ub:worksFor ?D .\n"
+      "  ?D ub:subOrganizationOf ?U .\n"
+      "  ?A ub:name ?N\n"));
+  add("C3", 'C', Lubm(
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?P ub:worksFor ?D .\n"
+      "  ?X ub:memberOf ?D .\n"
+      "  ?X a ub:UndergraduateStudent .\n"
+      "  ?P a ub:Lecturer\n"));
+  add("C4", 'C', Lubm(
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?Y ub:takesCourse ?C .\n"
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?Y a ub:TeachingAssistant .\n"
+      "  ?X ub:advisor ?P .\n"
+      "  ?Y ub:advisor ?P\n"));
+  add("C5", 'C', Lubm(
+      "  ?A a ub:FullProfessor .\n"
+      "  ?A ub:worksFor ?D .\n"
+      "  ?D ub:subOrganizationOf ?U .\n"
+      "  ?U a ub:University .\n"
+      "  ?X ub:advisor ?A .\n"
+      "  ?X ub:degreeFrom ?U2 .\n"
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?A ub:teacherOf ?C .\n"
+      "  ?C a ub:GraduateCourse\n"));
+
+  // --- snowflake ---
+  add("F1", 'F', Lubm(
+      "  ?X a ub:UndergraduateStudent .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?C a ub:Course .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?P a ub:Lecturer .\n"
+      "  ?P ub:name ?N\n"));
+  add("F2", 'F', Lubm(
+      "  ?X a ub:UndergraduateStudent .\n"
+      "  ?X ub:memberOf ?D .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?P ub:worksFor ?D2 .\n"
+      "  ?D2 ub:subOrganizationOf ?U .\n"
+      "  ?P ub:name ?N .\n"
+      "  ?P a ub:AssistantProfessor\n"));
+  add("F3", 'F', Lubm(
+      "  ?P a ub:Publication .\n"
+      "  ?P ub:publicationAuthor ?A .\n"
+      "  ?A ub:worksFor ?D .\n"
+      "  ?D a ub:Department .\n"
+      "  ?D ub:subOrganizationOf ?U .\n"
+      "  ?U a ub:University\n"));
+  add("F4", 'F', Lubm(
+      "  ?X ub:advisor ?P .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?C a ub:GraduateCourse .\n"
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?X ub:memberOf ?D .\n"
+      "  ?D a ub:Department\n"));
+  add("F5", 'F', Lubm(
+      "  ?X ub:degreeFrom ?U .\n"
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?X ub:advisor ?P .\n"
+      "  ?P a ub:FullProfessor .\n"
+      "  ?P ub:degreeFrom ?U2 .\n"
+      "  ?P ub:name ?N\n"));
+  add("F6", 'F', Lubm(
+      "  ?P ub:headOf ?D .\n"
+      "  ?D a ub:Department .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?C a ub:GraduateCourse .\n"
+      "  ?S ub:takesCourse ?C .\n"
+      "  ?S a ub:GraduateStudent\n"));
+  add("F7", 'F', Lubm(
+      "  ?X a ub:TeachingAssistant .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?P a ub:AssistantProfessor .\n"
+      "  ?P ub:emailAddress ?E\n"));
+  add("F8", 'F', Lubm(
+      "  ?S ub:memberOf ?D .\n"
+      "  ?D ub:subOrganizationOf <http://www.University0.edu> .\n"
+      "  ?S a ub:UndergraduateStudent .\n"
+      "  ?S ub:advisor ?P .\n"
+      "  ?P a ub:FullProfessor\n"));
+
+  // --- star ---
+  add("S1", 'S', Lubm(
+      "  ?P a ub:FullProfessor .\n"
+      "  ?P ub:name ?N .\n"
+      "  ?P ub:emailAddress ?E .\n"
+      "  ?P ub:telephone ?T .\n"
+      "  ?P ub:worksFor ?D\n"));
+  add("S2", 'S', Lubm(
+      "  ?X a ub:UndergraduateStudent .\n"
+      "  ?X ub:memberOf ?D .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?X ub:name ?N\n"));
+  add("S3", 'S', Lubm(
+      "  ?C a ub:GraduateCourse .\n"
+      "  ?C ub:name ?N\n"));
+  add("S4", 'S', Lubm(
+      "  ?D a ub:Department .\n"
+      "  ?D ub:subOrganizationOf ?U .\n"
+      "  ?D ub:name ?N\n"));
+  add("S5", 'S', Lubm(
+      "  ?X a ub:GraduateStudent .\n"
+      "  ?X ub:name ?N .\n"
+      "  ?X ub:emailAddress ?E .\n"
+      "  ?X ub:memberOf ?D .\n"
+      "  ?X ub:degreeFrom ?U .\n"
+      "  ?X ub:takesCourse ?C .\n"
+      "  ?X ub:advisor ?P\n"));
+  add("S6", 'S', Lubm(
+      "  ?P a ub:Publication .\n"
+      "  ?P ub:name ?N .\n"
+      "  ?P ub:publicationAuthor ?A\n"));
+  add("S7", 'S', Lubm(
+      "  ?P ub:teacherOf ?C .\n"
+      "  ?P ub:worksFor ?D .\n"
+      "  ?P ub:name ?N\n"));
+  return qs;
+}
+
+std::vector<BenchQuery> WatDivQueries() {
+  std::vector<BenchQuery> qs;
+  auto add = [&](const char* label, char family, const std::string& text) {
+    qs.push_back({label, family, text});
+  };
+
+  // Like the original WatDiv complex templates, C1 and C2 bind constants
+  // (a genre / a country) to keep the result selective.
+  add("C1", 'C', Wat(
+      "  ?u a wsdbm:User .\n"
+      "  ?u wsdbm:likes ?p .\n"
+      "  ?p wsdbm:hasGenre <http://db.uwaterloo.ca/~galuc/wsdbm/Genre5> .\n"
+      "  ?r rev:reviewFor ?p .\n"
+      "  ?r rev:reviewer ?v .\n"
+      "  ?v wsdbm:follows ?u\n"));
+  add("C2", 'C', Wat(
+      "  ?p a wsdbm:Product .\n"
+      "  ?o wsdbm:offerFor ?p .\n"
+      "  ?o wsdbm:seller ?s .\n"
+      "  ?r rev:reviewFor ?p .\n"
+      "  ?r rev:reviewer ?u .\n"
+      "  ?u sorg:nationality <http://db.uwaterloo.ca/~galuc/wsdbm/Country3> .\n"
+      "  ?p wsdbm:hasGenre <http://db.uwaterloo.ca/~galuc/wsdbm/Genre2>\n"));
+  add("C3", 'C', Wat(
+      "  ?u wsdbm:friendOf ?v .\n"
+      "  ?u wsdbm:likes ?p .\n"
+      "  ?v wsdbm:likes ?p .\n"
+      "  ?u a wsdbm:User .\n"
+      "  ?p a wsdbm:Product\n"));
+
+  add("F1", 'F', Wat(
+      "  ?p a wsdbm:Product .\n"
+      "  ?r rev:reviewFor ?p .\n"
+      "  ?r rev:reviewer ?u .\n"
+      "  ?u sorg:nationality ?c .\n"
+      "  ?r rev:ratingValue ?v\n"));
+  add("F2", 'F', Wat(
+      "  ?o a wsdbm:Offer .\n"
+      "  ?o wsdbm:offerFor ?p .\n"
+      "  ?p sorg:caption ?cap .\n"
+      "  ?o wsdbm:seller ?s .\n"
+      "  ?s sorg:legalName ?n\n"));
+  add("F3", 'F', Wat(
+      "  ?p wsdbm:hasGenre <http://db.uwaterloo.ca/~galuc/wsdbm/Genre0> .\n"
+      "  ?r rev:reviewFor ?p .\n"
+      "  ?r rev:ratingValue ?v .\n"
+      "  ?p sorg:price ?pr .\n"
+      "  ?p a wsdbm:Product\n"));
+  add("F4", 'F', Wat(
+      "  ?u wsdbm:follows ?v .\n"
+      "  ?v wsdbm:likes ?p .\n"
+      "  ?p wsdbm:hasGenre ?g .\n"
+      "  ?u a wsdbm:User .\n"
+      "  ?p sorg:caption ?cap\n"));
+  add("F5", 'F', Wat(
+      "  ?o wsdbm:offerFor ?p .\n"
+      "  ?p wsdbm:hasGenre ?g .\n"
+      "  ?o wsdbm:seller ?s .\n"
+      "  ?s sorg:homepage ?h .\n"
+      "  ?o sorg:price ?pr .\n"
+      "  ?p a wsdbm:Product\n"));
+
+  add("S1", 'S', Wat(
+      "  ?p a wsdbm:Product .\n"
+      "  ?p sorg:caption ?c .\n"
+      "  ?p wsdbm:hasGenre ?g .\n"
+      "  ?p sorg:price ?pr\n"));
+  add("S2", 'S', Wat(
+      "  ?u a wsdbm:User .\n"
+      "  ?u wsdbm:gender ?g .\n"
+      "  ?u sorg:age ?a .\n"
+      "  ?u sorg:nationality ?n\n"));
+  add("S3", 'S', Wat(
+      "  ?r a wsdbm:Review .\n"
+      "  ?r rev:ratingValue ?v .\n"
+      "  ?r rev:reviewFor ?p .\n"
+      "  ?r rev:reviewer ?u\n"));
+  add("S4", 'S', Wat(
+      "  ?o a wsdbm:Offer .\n"
+      "  ?o sorg:price ?pr .\n"
+      "  ?o wsdbm:offerFor ?p .\n"
+      "  ?o wsdbm:seller ?s .\n"
+      "  ?o sorg:validThrough ?d\n"));
+  add("S5", 'S', Wat(
+      "  ?s a wsdbm:Retailer .\n"
+      "  ?s sorg:legalName ?n .\n"
+      "  ?s sorg:homepage ?h\n"));
+  add("S6", 'S', Wat(
+      "  ?c a wsdbm:City .\n"
+      "  ?c wsdbm:locatedIn ?k\n"));
+  add("S7", 'S', Wat(
+      "  ?p wsdbm:hasGenre <http://db.uwaterloo.ca/~galuc/wsdbm/Genre1> .\n"
+      "  ?p sorg:caption ?c .\n"
+      "  ?p sorg:price ?pr\n"));
+  return qs;
+}
+
+std::vector<BenchQuery> YagoQueries() {
+  std::vector<BenchQuery> qs;
+  auto add = [&](const char* label, char family, const std::string& text) {
+    qs.push_back({label, family, text});
+  };
+
+  add("C1", 'C', Yago(
+      "  ?a a schema:Actor .\n"
+      "  ?a schema:actedIn ?m .\n"
+      "  ?m schema:director ?d .\n"
+      "  ?d schema:birthPlace ?c .\n"
+      "  ?a schema:birthPlace ?c .\n"
+      "  ?m a schema:Movie\n"));
+  add("C2", 'C', Yago(
+      "  ?b a schema:Book .\n"
+      "  ?b schema:author ?p .\n"
+      "  ?p schema:worksFor ?o .\n"
+      "  ?o schema:location ?c .\n"
+      "  ?c schema:containedInPlace ?k .\n"
+      "  ?k a schema:Country\n"));
+  add("C3", 'C', Yago(
+      "  ?x schema:knows ?y .\n"
+      "  ?y schema:knows ?z .\n"
+      "  ?x schema:birthPlace ?c .\n"
+      "  ?z schema:birthPlace ?c .\n"
+      "  ?x a schema:Person\n"));
+
+  add("F1", 'F', Yago(
+      "  ?m a schema:Movie .\n"
+      "  ?m schema:director ?p .\n"
+      "  ?p schema:birthPlace ?c .\n"
+      "  ?c schema:containedInPlace ?k .\n"
+      "  ?k a schema:Country\n"));
+  add("F2", 'F', Yago(
+      "  ?a a schema:Actor .\n"
+      "  ?a schema:actedIn ?m .\n"
+      "  ?m schema:datePublished ?y .\n"
+      "  ?m schema:director ?d .\n"
+      "  ?d schema:worksFor ?o\n"));
+  add("F3", 'F', Yago(
+      "  ?b a schema:Book .\n"
+      "  ?b schema:author ?p .\n"
+      "  ?b schema:publisher ?o .\n"
+      "  ?o schema:location ?c .\n"
+      "  ?c a schema:City\n"));
+  add("F4", 'F', Yago(
+      "  ?p a schema:Person .\n"
+      "  ?p schema:worksFor ?o .\n"
+      "  ?o schema:location ?c .\n"
+      "  ?c schema:containedInPlace ?k .\n"
+      "  ?k schema:populationNumber ?n\n"));
+  add("F5", 'F', Yago(
+      "  ?a schema:actedIn ?m .\n"
+      "  ?m a schema:Movie .\n"
+      "  ?a a schema:Actor .\n"
+      "  ?a schema:award ?w .\n"
+      "  ?m schema:duration ?du\n"));
+
+  add("S1", 'S', Yago(
+      "  ?p a schema:Person .\n"
+      "  ?p schema:birthPlace ?c .\n"
+      "  ?p schema:worksFor ?o .\n"
+      "  ?p rdfs:label ?l\n"));
+  add("S2", 'S', Yago(
+      "  ?m a schema:Movie .\n"
+      "  ?m schema:director ?d .\n"
+      "  ?m schema:duration ?du .\n"
+      "  ?m schema:datePublished ?y .\n"
+      "  ?m rdfs:label ?l\n"));
+  add("S3", 'S', Yago(
+      "  ?c a schema:City .\n"
+      "  ?c schema:containedInPlace ?k .\n"
+      "  ?c schema:populationNumber ?n .\n"
+      "  ?c rdfs:label ?l\n"));
+  add("S4", 'S', Yago(
+      "  ?b a schema:Book .\n"
+      "  ?b schema:author ?a .\n"
+      "  ?b schema:publisher ?p .\n"
+      "  ?b schema:numberOfPages ?n\n"));
+  add("S5", 'S', Yago(
+      "  ?o a schema:Organization .\n"
+      "  ?o schema:location ?c .\n"
+      "  ?o schema:numberOfEmployees ?n .\n"
+      "  ?o rdfs:label ?l\n"));
+  return qs;
+}
+
+}  // namespace shapestats::workload

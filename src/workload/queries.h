@@ -1,0 +1,36 @@
+// Benchmark query workloads (Section 7 "Queries"):
+//  * LUBM — the five selected default queries (Q2, Q4, Q8, Q9, Q12) plus
+//    handcrafted complex (C), snowflake (F) and star (S) queries, 26 total
+//    (matching the 26 points of Figure 4c). C0 is the paper's running
+//    example query Q (Figure 2 / Table 2).
+//  * WatDiv — the benchmark's 3 C + 5 F + 7 S templates, adapted to the
+//    generator's vocabulary.
+//  * YAGO — 13 handcrafted queries following the WatDiv C/F/S patterns,
+//    exactly as the paper did (no standard YAGO workload exists).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shapestats::workload {
+
+struct BenchQuery {
+  std::string label;  // e.g. "Q2", "C0", "F3", "S1"
+  char family;        // 'Q' (LUBM default), 'C', 'F', 'S'
+  std::string text;   // SPARQL
+};
+
+/// 26 LUBM queries: Q2,Q4,Q8,Q9,Q12 + C0-C5 + F1-F8 + S1-S7.
+std::vector<BenchQuery> LubmQueries();
+
+/// 15 WatDiv queries: C1-C3 + F1-F5 + S1-S7.
+std::vector<BenchQuery> WatDivQueries();
+
+/// 13 YAGO queries: C1-C3 + F1-F5 + S1-S5.
+std::vector<BenchQuery> YagoQueries();
+
+/// The paper's example query Q over LUBM (Figure 2, 9 triple patterns) —
+/// the same text as LUBM C0.
+const std::string& LubmExampleQuery();
+
+}  // namespace shapestats::workload

@@ -1,0 +1,280 @@
+// Unit tests for src/card: the Table-1 triple pattern estimator (global and
+// shape modes), shape anchoring, and the Equation 1-3 join estimator.
+#include <gtest/gtest.h>
+
+#include "card/estimator.h"
+#include "rdf/turtle.h"
+#include "shacl/generator.h"
+#include "sparql/parser.h"
+#include "stats/annotator.h"
+
+namespace shapestats::card {
+namespace {
+
+using sparql::EncodedBgp;
+
+// Data with precisely known statistics:
+//   12 triples, 5 subjects, distinct objects: Student(cls), Prof(cls),
+//   c1, c2, p1, "a","b" -> 7
+//   takes: count 4, dsc 3 (s1 s2 s3), doc 2 (c1 c2)
+//   advisor: count 2, dsc 2, doc 1 (p1)
+//   name: count 2, dsc 2, doc 2
+//   rdf:type: count 4, dsc 4, doc 2 (Student x3, Prof x1)
+constexpr const char* kData = R"(
+@prefix ex: <http://ex/> .
+ex:s1 a ex:Student ; ex:takes ex:c1, ex:c2 ; ex:advisor ex:p1 ; ex:name "a" .
+ex:s2 a ex:Student ; ex:takes ex:c1 ; ex:advisor ex:p1 .
+ex:s3 a ex:Student ; ex:takes ex:c2 .
+ex:p1 a ex:Prof ; ex:name "b" .
+)";
+
+class CardFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rdf::ParseTurtle(kData, &graph_).ok());
+    graph_.Finalize();
+    gs_ = stats::GlobalStats::Compute(graph_);
+    auto shapes = shacl::GenerateShapes(graph_);
+    ASSERT_TRUE(shapes.ok());
+    shapes_ = std::move(shapes).value();
+    ASSERT_TRUE(stats::AnnotateShapes(graph_, &shapes_).ok());
+  }
+
+  EncodedBgp Encode(const std::string& body) {
+    auto q = sparql::ParseQuery("PREFIX ex: <http://ex/>\nSELECT * WHERE {" +
+                                body + "}");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return sparql::EncodeBgp(*q, graph_.dict());
+  }
+
+  TpEstimate Global(const std::string& pattern) {
+    CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+    auto bgp = Encode(pattern);
+    return est.EstimateAll(bgp)[0];
+  }
+
+  // Shape-mode estimate of the *last* pattern given the whole BGP context.
+  TpEstimate Shape(const std::string& body) {
+    CardinalityEstimator est(gs_, &shapes_, graph_.dict(), StatsMode::kShape);
+    auto bgp = Encode(body);
+    return est.EstimateAll(bgp).back();
+  }
+
+  rdf::Graph graph_;
+  stats::GlobalStats gs_;
+  shacl::ShapesGraph shapes_;
+};
+
+// --- Table 1, global statistics ---
+
+TEST_F(CardFixture, AllUnbound) {
+  auto e = Global("?s ?p ?o");
+  EXPECT_DOUBLE_EQ(e.card, 12.0);  // c_triples
+  EXPECT_DOUBLE_EQ(e.dsc, 4.0);
+  EXPECT_DOUBLE_EQ(e.doc, 7.0);
+}
+
+TEST_F(CardFixture, ObjectBoundVarPredicate) {
+  auto e = Global("?s ?p ex:c1");
+  EXPECT_DOUBLE_EQ(e.card, 12.0 / 7.0);  // c_triples / c_objects
+  EXPECT_DOUBLE_EQ(e.doc, 1.0);
+}
+
+TEST_F(CardFixture, SubjectBoundVarPredicate) {
+  auto e = Global("ex:s1 ?p ?o");
+  EXPECT_DOUBLE_EQ(e.card, 12.0 / 4.0);  // c_triples / c_distSubj
+  EXPECT_DOUBLE_EQ(e.dsc, 1.0);
+}
+
+TEST_F(CardFixture, SubjectObjectBoundVarPredicate) {
+  auto e = Global("ex:s1 ?p ex:c1");
+  EXPECT_DOUBLE_EQ(e.card, 12.0 / (4.0 * 7.0));
+}
+
+TEST_F(CardFixture, PredicateBound) {
+  auto e = Global("?s ex:takes ?o");
+  EXPECT_DOUBLE_EQ(e.card, 4.0);  // c_pred
+  EXPECT_DOUBLE_EQ(e.dsc, 3.0);
+  EXPECT_DOUBLE_EQ(e.doc, 2.0);
+}
+
+TEST_F(CardFixture, PredicateAndObjectBound) {
+  auto e = Global("?s ex:takes ex:c1");
+  EXPECT_DOUBLE_EQ(e.card, 4.0 / 2.0);  // c_pred / doc(pred)
+}
+
+TEST_F(CardFixture, SubjectAndPredicateBound) {
+  auto e = Global("ex:s1 ex:takes ?o");
+  EXPECT_DOUBLE_EQ(e.card, 4.0 / 3.0);  // c_pred / dsc(pred)
+}
+
+TEST_F(CardFixture, FullyBound) {
+  auto e = Global("ex:s1 ex:takes ex:c1");
+  EXPECT_DOUBLE_EQ(e.card, 4.0 / (3.0 * 2.0));
+}
+
+TEST_F(CardFixture, TypeWithBoundClass) {
+  auto e = Global("?s a ex:Student");
+  EXPECT_DOUBLE_EQ(e.card, 3.0);  // class count
+  EXPECT_DOUBLE_EQ(e.dsc, 3.0);   // Table 2 convention: DSC=DOC=card
+  EXPECT_DOUBLE_EQ(e.doc, 3.0);
+}
+
+TEST_F(CardFixture, TypeAllVariables) {
+  auto e = Global("?s a ?o");
+  EXPECT_DOUBLE_EQ(e.card, 4.0);  // c_rdf:type
+}
+
+TEST_F(CardFixture, TypeFullyBound) {
+  EXPECT_DOUBLE_EQ(Global("ex:s1 a ex:Student").card, 1.0);
+}
+
+TEST_F(CardFixture, TypeSubjectBound) {
+  auto e = Global("ex:s1 a ?o");
+  EXPECT_DOUBLE_EQ(e.card, 4.0 / 4.0);  // types per typed entity
+}
+
+TEST_F(CardFixture, MissingConstantGivesZero) {
+  auto e = Global("?s ex:doesNotExist ?o");
+  EXPECT_DOUBLE_EQ(e.card, 0.0);
+  auto e2 = Global("?s ex:takes ex:ghost");
+  EXPECT_DOUBLE_EQ(e2.card, 0.0);
+}
+
+TEST_F(CardFixture, UnknownClassGivesZero) {
+  // ex:name exists as predicate but has no instances as a class.
+  auto e = Global("?s a ex:name");
+  EXPECT_DOUBLE_EQ(e.card, 0.0);
+}
+
+// --- shape anchoring ---
+
+TEST_F(CardFixture, AnchorsFromTypePatterns) {
+  auto bgp = Encode("?x a ex:Student . ?x ex:takes ?c . ?y a ex:Prof");
+  auto anchors = ComputeShapeAnchors(bgp, gs_);
+  ASSERT_EQ(anchors.size(), 2u);
+  auto student = graph_.dict().FindIri("http://ex/Student");
+  auto prof = graph_.dict().FindIri("http://ex/Prof");
+  EXPECT_EQ(anchors.at(bgp.patterns[0].s.id), *student);
+  EXPECT_EQ(anchors.at(bgp.patterns[2].s.id), *prof);
+}
+
+TEST_F(CardFixture, MostSelectiveClassWinsOnDoubleTyping) {
+  auto bgp = Encode("?x a ex:Student . ?x a ex:Prof");
+  auto anchors = ComputeShapeAnchors(bgp, gs_);
+  auto prof = graph_.dict().FindIri("http://ex/Prof");
+  EXPECT_EQ(anchors.at(bgp.patterns[0].s.id), *prof);  // 1 Prof < 3 Students
+}
+
+// --- shape-mode estimates ---
+
+TEST_F(CardFixture, ShapeModeTypePatternUsesNodeShapeCount) {
+  auto e = Shape("?x a ex:Student");
+  EXPECT_DOUBLE_EQ(e.card, 3.0);
+  EXPECT_DOUBLE_EQ(e.dsc, 3.0);
+}
+
+TEST_F(CardFixture, ShapeModeAnchoredPatternUsesPropertyShape) {
+  // Anchored: only Student takes-triples (4 of 4 here, but advisor shows the
+  // class-local restriction: advisor count within Student shape = 2 = global,
+  // while name within Student = 1 < global 2).
+  auto e = Shape("?x a ex:Student . ?x ex:name ?n");
+  EXPECT_DOUBLE_EQ(e.card, 1.0);  // only s1 has a name among Students
+  // DSC: minCount is 0 (s2, s3 lack names) -> min(instances, count) = 1.
+  EXPECT_DOUBLE_EQ(e.dsc, 1.0);
+  EXPECT_DOUBLE_EQ(e.doc, 1.0);   // distinct names among Students
+}
+
+TEST_F(CardFixture, ShapeModeBoundObject) {
+  auto e = Shape("?x a ex:Student . ?x ex:takes ex:c1");
+  // count(Student,takes)=4, distinct objects=2 -> 2 per object.
+  EXPECT_DOUBLE_EQ(e.card, 2.0);
+}
+
+TEST_F(CardFixture, ShapeModeFallsBackWithoutAnchor) {
+  CardinalityEstimator ss(gs_, &shapes_, graph_.dict(), StatsMode::kShape);
+  CardinalityEstimator gsest(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto bgp = Encode("?x ex:takes ?c . ?c ex:name ?n");  // no type patterns
+  auto ss_est = ss.EstimateAll(bgp);
+  auto gs_est = gsest.EstimateAll(bgp);
+  for (size_t i = 0; i < ss_est.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ss_est[i].card, gs_est[i].card);
+    EXPECT_DOUBLE_EQ(ss_est[i].dsc, gs_est[i].dsc);
+    EXPECT_DOUBLE_EQ(ss_est[i].doc, gs_est[i].doc);
+  }
+}
+
+TEST_F(CardFixture, ShapeModeDscUsesNodeCountWhenMandatory) {
+  // takes has minCount 1 within Student (every student takes something).
+  auto e = Shape("?x a ex:Student . ?x ex:takes ?c");
+  EXPECT_DOUBLE_EQ(e.card, 4.0);
+  EXPECT_DOUBLE_EQ(e.dsc, 3.0);  // = node shape count
+  EXPECT_DOUBLE_EQ(e.doc, 2.0);  // sh:distinctCount
+}
+
+// --- join estimation, Equations 1-3 ---
+
+TEST_F(CardFixture, SubjectSubjectJoin) {
+  auto bgp = Encode("?x ex:takes ?c . ?x ex:advisor ?p");
+  CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto e = est.EstimateAll(bgp);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  // card 4 * card 2 / max(dsc 3, dsc 2) = 8/3.
+  EXPECT_DOUBLE_EQ(j, 8.0 / 3.0);
+}
+
+TEST_F(CardFixture, SubjectObjectJoin) {
+  auto bgp = Encode("?p ex:name ?n . ?x ex:advisor ?p");
+  CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto e = est.EstimateAll(bgp);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  // SO: card 2 * card 2 / max(dsc_a 2, doc_b 1) = 2.
+  EXPECT_DOUBLE_EQ(j, 2.0);
+}
+
+TEST_F(CardFixture, ObjectObjectJoin) {
+  auto bgp = Encode("?x ex:takes ?c . ?y ex:takes ?c");
+  CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto e = est.EstimateAll(bgp);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  // OO: 4*4 / max(2,2) = 8.
+  EXPECT_DOUBLE_EQ(j, 8.0);
+}
+
+TEST_F(CardFixture, CartesianProductMultiplies) {
+  auto bgp = Encode("?x ex:takes ?c . ?y ex:name ?n");
+  CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto e = est.EstimateAll(bgp);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  EXPECT_DOUBLE_EQ(j, 8.0);  // 4 * 2
+}
+
+TEST_F(CardFixture, MultipleSharedVarsTakeMinimum) {
+  auto bgp = Encode("?x ex:takes ?c . ?c ex:advisor ?x");
+  CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto e = est.EstimateAll(bgp);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  // candidates: ?x SS->SO...: pairs (S,O) via x: max(dsc_a=3, doc_b=1)=3 ->
+  // 8/3; (O,S) via c: max(doc_a=2, dsc_b=2)=2 -> 4. Min = 8/3.
+  EXPECT_DOUBLE_EQ(j, 8.0 / 3.0);
+}
+
+TEST_F(CardFixture, ZeroCardinalityPropagates) {
+  auto bgp = Encode("?x ex:ghostpred ?c . ?x ex:takes ?c");
+  CardinalityEstimator est(gs_, nullptr, graph_.dict(), StatsMode::kGlobal);
+  auto e = est.EstimateAll(bgp);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  EXPECT_DOUBLE_EQ(j, 0.0);
+}
+
+TEST_F(CardFixture, ResultCardinalityEstimateIsFinite) {
+  CardinalityEstimator est(gs_, &shapes_, graph_.dict(), StatsMode::kShape);
+  auto bgp = Encode(
+      "?x a ex:Student . ?x ex:takes ?c . ?x ex:advisor ?p . ?p ex:name ?n");
+  double r = est.EstimateResultCardinality(bgp);
+  EXPECT_GT(r, 0.0);
+  EXPECT_LT(r, 100.0);
+}
+
+}  // namespace
+}  // namespace shapestats::card

@@ -1,0 +1,267 @@
+// Property-based tests: randomized sweeps checking module invariants
+// against independent oracles.
+//  * Executor vs a brute-force enumeration oracle on random BGPs.
+//  * Estimator sanity: non-negative, finite, join estimate bounded by the
+//    Cartesian product.
+//  * ShEx weight derivation: monotone in constraints, terminates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "baselines/shex/shex_heuristic.h"
+#include "card/estimator.h"
+#include "exec/executor.h"
+#include "rdf/graph.h"
+#include "rdf/turtle.h"
+#include "sparql/encoded_bgp.h"
+#include "sparql/parser.h"
+#include "stats/global_stats.h"
+#include "util/random.h"
+
+namespace shapestats {
+namespace {
+
+using rdf::TermId;
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+using sparql::EncodedTerm;
+
+// Builds a small random graph over fixed pools of subjects/predicates/objects.
+rdf::Graph RandomGraph(Rng& rng, int num_triples) {
+  rdf::Graph g;
+  std::vector<TermId> nodes, preds;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(g.dict().InternIri("http://t/n" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    preds.push_back(g.dict().InternIri("http://t/p" + std::to_string(i)));
+  }
+  for (int i = 0; i < num_triples; ++i) {
+    g.Add(nodes[rng.Uniform(0, nodes.size() - 1)],
+          preds[rng.Uniform(0, preds.size() - 1)],
+          nodes[rng.Uniform(0, nodes.size() - 1)]);
+  }
+  g.Finalize();
+  return g;
+}
+
+// Random BGP with `n` patterns over up to 4 variables; positions are
+// variables with probability pvar, otherwise constants drawn from the
+// graph's terms.
+EncodedBgp RandomBgp(Rng& rng, const rdf::Graph& g, int n, double pvar) {
+  EncodedBgp bgp;
+  bgp.var_names = {"a", "b", "c", "d"};
+  auto term = [&](bool predicate_position) {
+    if (rng.UniformReal() < pvar) {
+      return EncodedTerm::Var(static_cast<sparql::VarId>(rng.Uniform(0, 3)));
+    }
+    auto triples = g.triples();
+    const rdf::Triple& t = triples[rng.Uniform(0, triples.size() - 1)];
+    return EncodedTerm::Bound(predicate_position ? t.p
+                                                 : (rng.Chance(0.5) ? t.s : t.o));
+  };
+  for (int i = 0; i < n; ++i) {
+    EncodedPattern tp;
+    tp.s = term(false);
+    tp.p = term(true);
+    tp.o = term(false);
+    tp.input_index = static_cast<uint32_t>(i);
+    bgp.patterns.push_back(tp);
+  }
+  return bgp;
+}
+
+// Brute-force oracle: enumerate every assignment of patterns to triples
+// and count the consistent ones.
+uint64_t BruteForceCount(const rdf::Graph& g, const EncodedBgp& bgp) {
+  auto triples = g.triples();
+  std::vector<TermId> bindings(bgp.NumVars(), rdf::kInvalidTermId);
+  uint64_t count = 0;
+
+  std::function<void(size_t)> rec = [&](size_t depth) {
+    if (depth == bgp.patterns.size()) {
+      ++count;
+      return;
+    }
+    const EncodedPattern& tp = bgp.patterns[depth];
+    for (const rdf::Triple& t : triples) {
+      auto matches = [&](const EncodedTerm& term, TermId value) {
+        if (term.is_bound()) return term.id == value;
+        if (term.is_missing()) return false;
+        TermId bound = bindings[term.id];
+        return bound == rdf::kInvalidTermId || bound == value;
+      };
+      if (!matches(tp.s, t.s) || !matches(tp.p, t.p) || !matches(tp.o, t.o)) {
+        continue;
+      }
+      // Repeated variables inside the pattern must bind equal values.
+      auto check_repeat = [&](const EncodedTerm& x, TermId vx,
+                              const EncodedTerm& y, TermId vy) {
+        return !(x.is_var() && y.is_var() && x.id == y.id && vx != vy);
+      };
+      if (!check_repeat(tp.s, t.s, tp.p, t.p) ||
+          !check_repeat(tp.s, t.s, tp.o, t.o) ||
+          !check_repeat(tp.p, t.p, tp.o, t.o)) {
+        continue;
+      }
+      TermId saved_s = tp.s.is_var() ? bindings[tp.s.id] : 0;
+      TermId saved_p = tp.p.is_var() ? bindings[tp.p.id] : 0;
+      TermId saved_o = tp.o.is_var() ? bindings[tp.o.id] : 0;
+      if (tp.s.is_var()) bindings[tp.s.id] = t.s;
+      if (tp.p.is_var()) bindings[tp.p.id] = t.p;
+      if (tp.o.is_var()) bindings[tp.o.id] = t.o;
+      rec(depth + 1);
+      if (tp.s.is_var()) bindings[tp.s.id] = saved_s;
+      if (tp.p.is_var()) bindings[tp.p.id] = saved_p;
+      if (tp.o.is_var()) bindings[tp.o.id] = saved_o;
+    }
+  };
+  rec(0);
+  return count;
+}
+
+struct OracleCase {
+  uint64_t seed;
+  int patterns;
+  double pvar;
+};
+
+class ExecutorOracleTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(ExecutorOracleTest, MatchesBruteForce) {
+  const OracleCase& pc = GetParam();
+  Rng rng(pc.seed);
+  rdf::Graph g = RandomGraph(rng, 50);
+  for (int trial = 0; trial < 8; ++trial) {
+    EncodedBgp bgp = RandomBgp(rng, g, pc.patterns, pc.pvar);
+    uint64_t expected = BruteForceCount(g, bgp);
+    auto r = exec::ExecuteBgp(g, bgp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->num_results, expected) << "seed " << pc.seed << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomBgps, ExecutorOracleTest,
+    ::testing::Values(OracleCase{1, 1, 0.8}, OracleCase{2, 2, 0.8},
+                      OracleCase{3, 2, 0.5}, OracleCase{4, 3, 0.7},
+                      OracleCase{5, 3, 0.9}, OracleCase{6, 2, 0.3},
+                      OracleCase{7, 3, 0.5}, OracleCase{8, 1, 0.2}),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.patterns);
+    });
+
+class EstimatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EstimatorPropertyTest, EstimatesAreSaneOnRandomPatterns) {
+  Rng rng(GetParam());
+  rdf::Graph g = RandomGraph(rng, 120);
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+  card::CardinalityEstimator est(gs, nullptr, g.dict(),
+                                 card::StatsMode::kGlobal);
+  for (int trial = 0; trial < 50; ++trial) {
+    EncodedBgp bgp = RandomBgp(rng, g, 2, rng.UniformReal());
+    auto estimates = est.EstimateAll(bgp);
+    for (const card::TpEstimate& e : estimates) {
+      EXPECT_GE(e.card, 0.0);
+      EXPECT_GE(e.dsc, 0.0);
+      EXPECT_GE(e.doc, 0.0);
+      EXPECT_TRUE(std::isfinite(e.card));
+      // A single pattern can never exceed the number of triples.
+      EXPECT_LE(e.card, static_cast<double>(g.NumTriples()) + 1e-9);
+    }
+    double join = card::JoinEstimateEq123(bgp.patterns[0], estimates[0],
+                                          bgp.patterns[1], estimates[1]);
+    EXPECT_GE(join, 0.0);
+    EXPECT_TRUE(std::isfinite(join));
+    // Equations 1-3 divide by max(..., 1): never above the cross product.
+    EXPECT_LE(join, estimates[0].card * estimates[1].card + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+TEST(ShexWeightsTest, PropagatesAlongMandatoryLinks) {
+  shacl::ShapesGraph shapes;
+  // instructor --teaches(min 2)--> course: courses outweigh instructors.
+  shacl::NodeShape instructor;
+  instructor.iri = "http://s/I";
+  instructor.target_class = "http://ex/Instructor";
+  shacl::PropertyShape teaches;
+  teaches.path = "http://ex/teaches";
+  teaches.node_class = "http://ex/Course";
+  teaches.min_count = 2;
+  teaches.max_count = 2;
+  instructor.properties.push_back(teaches);
+  ASSERT_TRUE(shapes.Add(std::move(instructor)).ok());
+  shacl::NodeShape course;
+  course.iri = "http://s/C";
+  course.target_class = "http://ex/Course";
+  ASSERT_TRUE(shapes.Add(std::move(course)).ok());
+
+  auto weights = baselines::ShexWeights::Derive(shapes);
+  EXPECT_GT(weights.ClassWeight("http://ex/Course"),
+            weights.ClassWeight("http://ex/Instructor"));
+  EXPECT_DOUBLE_EQ(weights.ClassWeight("http://ex/Unknown"), 1.0);
+}
+
+TEST(ShexWeightsTest, CyclicConstraintsTerminate) {
+  shacl::ShapesGraph shapes;
+  for (const char* cls : {"A", "B"}) {
+    shacl::NodeShape ns;
+    ns.iri = std::string("http://s/") + cls;
+    ns.target_class = std::string("http://ex/") + cls;
+    shacl::PropertyShape ps;
+    ps.path = "http://ex/link";
+    ps.node_class = std::string("http://ex/") + (cls[0] == 'A' ? "B" : "A");
+    ps.min_count = 2;  // A -> 2B, B -> 2A: unbounded without the cap
+    ns.properties.push_back(ps);
+    ASSERT_TRUE(shapes.Add(std::move(ns)).ok());
+  }
+  auto weights = baselines::ShexWeights::Derive(shapes);
+  // Capped fixpoint: finite weights despite the amplifying cycle.
+  EXPECT_LE(weights.ClassWeight("http://ex/A"), 1e4 + 1);
+  EXPECT_LE(weights.ClassWeight("http://ex/B"), 1e4 + 1);
+}
+
+TEST(ShexProviderTest, OrdersTypePatternsByConstraintWeight) {
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(
+      "@prefix ex: <http://ex/> . ex:i a ex:Instructor ; ex:teaches ex:c1, "
+      "ex:c2 . ex:c1 a ex:Course . ex:c2 a ex:Course .",
+      &g).ok());
+  g.Finalize();
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+
+  shacl::ShapesGraph shapes;
+  shacl::NodeShape instructor;
+  instructor.iri = "http://s/I";
+  instructor.target_class = "http://ex/Instructor";
+  shacl::PropertyShape teaches;
+  teaches.path = "http://ex/teaches";
+  teaches.node_class = "http://ex/Course";
+  teaches.min_count = 2;
+  instructor.properties.push_back(teaches);
+  ASSERT_TRUE(shapes.Add(std::move(instructor)).ok());
+  shacl::NodeShape course;
+  course.iri = "http://s/C";
+  course.target_class = "http://ex/Course";
+  ASSERT_TRUE(shapes.Add(std::move(course)).ok());
+
+  baselines::ShexHeuristicProvider provider(shapes, g.dict(), gs.rdf_type_id);
+  auto q = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/> SELECT * WHERE "
+      "{ ?c a ex:Course . ?i a ex:Instructor . ?i ex:teaches ?c }");
+  ASSERT_TRUE(q.ok());
+  auto bgp = sparql::EncodeBgp(*q, g.dict());
+  auto est = provider.EstimateAll(bgp);
+  // Courses inferred more numerous than instructors.
+  EXPECT_GT(est[0].card, est[1].card);
+  EXPECT_EQ(provider.name(), "ShEx");
+}
+
+}  // namespace
+}  // namespace shapestats

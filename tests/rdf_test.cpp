@@ -1,0 +1,383 @@
+// Unit tests for src/rdf: terms, dictionary, graph indexes, N-Triples and
+// Turtle parsing. Includes a parameterized sweep over all 8 triple-pattern
+// binding combinations against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/turtle.h"
+#include "rdf/vocab.h"
+#include "util/random.h"
+
+namespace shapestats::rdf {
+namespace {
+
+TEST(TermTest, NTriplesRendering) {
+  EXPECT_EQ(Term::Iri("http://x/a").ToNTriples(), "<http://x/a>");
+  EXPECT_EQ(Term::Blank("b0").ToNTriples(), "_:b0");
+  EXPECT_EQ(Term::Literal("hi").ToNTriples(), "\"hi\"");
+  EXPECT_EQ(Term::Literal("hi", "", "en").ToNTriples(), "\"hi\"@en");
+  EXPECT_EQ(Term::IntLiteral(5).ToNTriples(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(Term::Literal("q\"uote").ToNTriples(), "\"q\\\"uote\"");
+}
+
+TEST(TermTest, ParseIri) {
+  auto r = ParseTerm("<http://x/a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_iri());
+  EXPECT_EQ(r->lexical, "http://x/a");
+}
+
+TEST(TermTest, ParseBlank) {
+  auto r = ParseTerm("_:node7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_blank());
+  EXPECT_EQ(r->lexical, "node7");
+}
+
+TEST(TermTest, ParseLiteralVariants) {
+  auto plain = ParseTerm("\"hello\"");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->lexical, "hello");
+
+  auto lang = ParseTerm("\"bonjour\"@fr");
+  ASSERT_TRUE(lang.ok());
+  EXPECT_EQ(lang->lang, "fr");
+
+  auto typed = ParseTerm("\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ(typed->datatype, std::string(vocab::kXsdInteger));
+
+  auto escaped = ParseTerm("\"a\\\"b\\nc\"");
+  ASSERT_TRUE(escaped.ok());
+  EXPECT_EQ(escaped->lexical, "a\"b\nc");
+}
+
+TEST(TermTest, ParseErrors) {
+  EXPECT_FALSE(ParseTerm("").ok());
+  EXPECT_FALSE(ParseTerm("<unclosed").ok());
+  EXPECT_FALSE(ParseTerm("\"unclosed").ok());
+  EXPECT_FALSE(ParseTerm("bareword").ok());
+  EXPECT_FALSE(ParseTerm("\"x\"^^garbage").ok());
+}
+
+TEST(TermTest, RoundTripThroughNTriples) {
+  for (const Term& t :
+       {Term::Iri("http://example.org/x"), Term::Blank("b1"),
+        Term::Literal("plain"), Term::Literal("hi", "", "en"),
+        Term::IntLiteral(-3), Term::Literal("w\"eird\\\n")}) {
+    auto parsed = ParseTerm(t.ToNTriples());
+    ASSERT_TRUE(parsed.ok()) << t.ToNTriples();
+    EXPECT_EQ(*parsed, t) << t.ToNTriples();
+  }
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  TermId a = dict.InternIri("http://x/a");
+  TermId b = dict.InternIri("http://x/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.InternIri("http://x/a"), a);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.term(a).lexical, "http://x/a");
+}
+
+TEST(DictionaryTest, NeverAssignsInvalidId) {
+  TermDictionary dict;
+  EXPECT_NE(dict.InternIri("http://x/a"), kInvalidTermId);
+}
+
+TEST(DictionaryTest, LiteralAndIriWithSameTextDiffer) {
+  TermDictionary dict;
+  TermId iri = dict.InternIri("x");
+  TermId lit = dict.InternLiteral("x");
+  EXPECT_NE(iri, lit);
+}
+
+TEST(DictionaryTest, FindDoesNotIntern) {
+  TermDictionary dict;
+  EXPECT_FALSE(dict.FindIri("http://x/missing").has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  TermId a = dict.InternIri("http://x/a");
+  ASSERT_TRUE(dict.FindIri("http://x/a").has_value());
+  EXPECT_EQ(*dict.FindIri("http://x/a"), a);
+}
+
+TEST(DictionaryTest, PrettyUsesLocalName) {
+  TermDictionary dict;
+  TermId a = dict.InternIri("http://example.org/ns#GraduateStudent");
+  EXPECT_EQ(dict.Pretty(a), "GraduateStudent");
+  TermId b = dict.InternIri("http://example.org/path/Course");
+  EXPECT_EQ(dict.Pretty(b), "Course");
+  TermId l = dict.InternLiteral("value");
+  EXPECT_EQ(dict.Pretty(l), "value");
+}
+
+class GraphFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto iri = [&](const std::string& s) { return g.dict().InternIri("http://x/" + s); };
+    s1 = iri("s1");
+    s2 = iri("s2");
+    p1 = iri("p1");
+    p2 = iri("p2");
+    o1 = iri("o1");
+    o2 = iri("o2");
+    g.Add(s1, p1, o1);
+    g.Add(s1, p1, o2);
+    g.Add(s1, p2, o1);
+    g.Add(s2, p1, o1);
+    g.Add(s2, p2, o2);
+    g.Add(s2, p2, o2);  // duplicate, removed at Finalize
+    g.Finalize();
+  }
+  Graph g;
+  TermId s1, s2, p1, p2, o1, o2;
+};
+
+TEST_F(GraphFixture, FinalizeDeduplicates) { EXPECT_EQ(g.NumTriples(), 5u); }
+
+TEST_F(GraphFixture, FullScan) {
+  EXPECT_EQ(g.CountMatches(std::nullopt, std::nullopt, std::nullopt), 5u);
+}
+
+TEST_F(GraphFixture, AllBindingCombinations) {
+  EXPECT_EQ(g.CountMatches(s1, std::nullopt, std::nullopt), 3u);
+  EXPECT_EQ(g.CountMatches(std::nullopt, p1, std::nullopt), 3u);
+  EXPECT_EQ(g.CountMatches(std::nullopt, std::nullopt, o1), 3u);
+  EXPECT_EQ(g.CountMatches(s1, p1, std::nullopt), 2u);
+  EXPECT_EQ(g.CountMatches(s1, std::nullopt, o1), 2u);
+  EXPECT_EQ(g.CountMatches(std::nullopt, p2, o2), 1u);
+  EXPECT_EQ(g.CountMatches(s2, p2, o2), 1u);
+  EXPECT_EQ(g.CountMatches(s2, p1, o2), 0u);
+}
+
+TEST_F(GraphFixture, ContainsExactTriples) {
+  EXPECT_TRUE(g.Contains(s1, p1, o1));
+  EXPECT_FALSE(g.Contains(s1, p2, o2));
+}
+
+TEST_F(GraphFixture, DistinctCounts) {
+  EXPECT_EQ(g.CountDistinctSubjects(), 2u);
+  EXPECT_EQ(g.CountDistinctObjects(), 2u);
+  EXPECT_EQ(g.CountDistinctSubjects(p1), 2u);
+  EXPECT_EQ(g.CountDistinctObjects(p1), 2u);
+  EXPECT_EQ(g.CountDistinctSubjects(p2), 2u);
+  EXPECT_EQ(g.CountDistinctObjects(p2), 2u);
+}
+
+TEST_F(GraphFixture, PredicateSpansAreSorted) {
+  auto by_subject = g.PredicateBySubject(p1);
+  ASSERT_EQ(by_subject.size(), 3u);
+  for (size_t i = 1; i < by_subject.size(); ++i) {
+    EXPECT_LE(by_subject[i - 1].s, by_subject[i].s);
+  }
+  auto by_object = g.PredicateByObject(p2);
+  ASSERT_EQ(by_object.size(), 2u);
+  for (size_t i = 1; i < by_object.size(); ++i) {
+    EXPECT_LE(by_object[i - 1].o, by_object[i].o);
+  }
+}
+
+TEST_F(GraphFixture, ForEachMatchVisitsAll) {
+  int n = 0;
+  g.ForEachMatch(std::nullopt, p1, std::nullopt, [&](const Triple&) { ++n; });
+  EXPECT_EQ(n, 3);
+}
+
+TEST_F(GraphFixture, IndexBytesNonZero) { EXPECT_GT(g.IndexBytes(), 0u); }
+
+// Property test: every binding combination must agree with a brute-force
+// filter over a random graph.
+struct PatternCase {
+  bool bind_s, bind_p, bind_o;
+};
+
+class MatchOracleTest : public ::testing::TestWithParam<PatternCase> {};
+
+TEST_P(MatchOracleTest, AgreesWithBruteForce) {
+  Rng rng(99);
+  Graph g;
+  std::vector<TermId> subjects, preds, objects;
+  for (int i = 0; i < 20; ++i)
+    subjects.push_back(g.dict().InternIri("http://t/s" + std::to_string(i)));
+  for (int i = 0; i < 5; ++i)
+    preds.push_back(g.dict().InternIri("http://t/p" + std::to_string(i)));
+  for (int i = 0; i < 15; ++i)
+    objects.push_back(g.dict().InternIri("http://t/o" + std::to_string(i)));
+  std::vector<Triple> truth;
+  for (int i = 0; i < 500; ++i) {
+    Triple t{subjects[rng.Uniform(0, subjects.size() - 1)],
+             preds[rng.Uniform(0, preds.size() - 1)],
+             objects[rng.Uniform(0, objects.size() - 1)]};
+    g.Add(t.s, t.p, t.o);
+    truth.push_back(t);
+  }
+  std::set<std::tuple<TermId, TermId, TermId>> uniq;
+  for (const Triple& t : truth) uniq.emplace(t.s, t.p, t.o);
+  g.Finalize();
+  ASSERT_EQ(g.NumTriples(), uniq.size());
+
+  const PatternCase& pc = GetParam();
+  for (int trial = 0; trial < 30; ++trial) {
+    OptId s = pc.bind_s ? OptId(subjects[rng.Uniform(0, subjects.size() - 1)])
+                        : std::nullopt;
+    OptId p = pc.bind_p ? OptId(preds[rng.Uniform(0, preds.size() - 1)])
+                        : std::nullopt;
+    OptId o = pc.bind_o ? OptId(objects[rng.Uniform(0, objects.size() - 1)])
+                        : std::nullopt;
+    uint64_t expect = 0;
+    for (const auto& [ts, tp, to] : uniq) {
+      if ((!s || *s == ts) && (!p || *p == tp) && (!o || *o == to)) ++expect;
+    }
+    EXPECT_EQ(g.CountMatches(s, p, o), expect);
+    // Every returned triple must actually match the pattern.
+    for (const Triple& t : g.Match(s, p, o)) {
+      EXPECT_TRUE((!s || *s == t.s) && (!p || *p == t.p) && (!o || *o == t.o));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBindings, MatchOracleTest,
+    ::testing::Values(PatternCase{false, false, false}, PatternCase{true, false, false},
+                      PatternCase{false, true, false}, PatternCase{false, false, true},
+                      PatternCase{true, true, false}, PatternCase{true, false, true},
+                      PatternCase{false, true, true}, PatternCase{true, true, true}),
+    [](const ::testing::TestParamInfo<PatternCase>& info) {
+      std::string name;
+      name += info.param.bind_s ? "S" : "s";
+      name += info.param.bind_p ? "P" : "p";
+      name += info.param.bind_o ? "O" : "o";
+      return name;
+    });
+
+TEST(NTriplesTest, ParsesBasicLines) {
+  Graph g;
+  std::string nt =
+      "# comment\n"
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "\n"
+      "<http://x/s> <http://x/p> \"lit with spaces\" .\n"
+      "_:b <http://x/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+  ASSERT_TRUE(ParseNTriples(nt, &g).ok());
+  g.Finalize();
+  EXPECT_EQ(g.NumTriples(), 3u);
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  for (const char* bad :
+       {"<http://x/s> <http://x/p> <http://x/o>",       // no dot
+        "<http://x/s> <http://x/p> .",                  // missing object
+        "\"lit\" <http://x/p> <http://x/o> .",          // literal subject
+        "<http://x/s> \"lit\" <http://x/o> .",          // literal predicate
+        "<http://x/s> _:b <http://x/o> ."}) {           // blank predicate
+    Graph g;
+    EXPECT_FALSE(ParseNTriples(bad, &g).ok()) << bad;
+  }
+}
+
+TEST(NTriplesTest, RoundTrip) {
+  Graph g;
+  auto s = g.dict().InternIri("http://x/s");
+  auto p = g.dict().InternIri("http://x/p");
+  auto lit = g.dict().Intern(Term::Literal("v\"al\nue"));
+  g.Add(s, p, lit);
+  g.Finalize();
+  std::string nt = WriteNTriples(g);
+  Graph g2;
+  ASSERT_TRUE(ParseNTriples(nt, &g2).ok());
+  g2.Finalize();
+  EXPECT_EQ(g2.NumTriples(), 1u);
+  EXPECT_EQ(WriteNTriples(g2), nt);
+}
+
+TEST(NTriplesTest, RejectsParseIntoFinalizedGraph) {
+  Graph g;
+  g.Finalize();
+  EXPECT_FALSE(ParseNTriples("<a> <b> <c> .", &g).ok());
+}
+
+TEST(TurtleTest, PrefixesAndSemicolons) {
+  Graph g;
+  std::string ttl = R"(
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:alice a ex:Person ;
+    ex:name "Alice" ;
+    ex:knows ex:bob, ex:carol .
+ex:bob ex:age 42 .
+)";
+  ASSERT_TRUE(ParseTurtle(ttl, &g).ok());
+  g.Finalize();
+  EXPECT_EQ(g.NumTriples(), 5u);
+  auto type = g.dict().FindIri(vocab::kRdfType);
+  auto alice = g.dict().FindIri("http://example.org/alice");
+  auto person = g.dict().FindIri("http://example.org/Person");
+  ASSERT_TRUE(type && alice && person);
+  EXPECT_TRUE(g.Contains(*alice, *type, *person));
+}
+
+TEST(TurtleTest, AnonymousBlankNodes) {
+  Graph g;
+  std::string ttl = R"(
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://example.org/> .
+ex:Shape a sh:NodeShape ;
+    sh:targetClass ex:Person ;
+    sh:property [ sh:path ex:name ; sh:minCount 1 ; sh:maxCount 1 ] ;
+    sh:property [ sh:path ex:knows ; sh:minCount 0 ] .
+)";
+  ASSERT_TRUE(ParseTurtle(ttl, &g).ok());
+  g.Finalize();
+  // 2 triples on the shape head + 2 sh:property links + 3 + 2 inside brackets.
+  EXPECT_EQ(g.NumTriples(), 9u);
+  auto path = g.dict().FindIri("http://www.w3.org/ns/shacl#path");
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(g.CountMatches(std::nullopt, *path, std::nullopt), 2u);
+}
+
+TEST(TurtleTest, IntegerAndDecimalLiterals) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle("@prefix ex: <http://e/> . ex:s ex:p 7 ; ex:q 1.5 .", &g).ok());
+  g.Finalize();
+  EXPECT_EQ(g.NumTriples(), 2u);
+  auto seven = g.dict().Find(Term::Literal("7", std::string(vocab::kXsdInteger)));
+  EXPECT_TRUE(seven.has_value());
+}
+
+TEST(TurtleTest, LangTaggedLiteral) {
+  Graph g;
+  ASSERT_TRUE(ParseTurtle("@prefix ex: <http://e/> . ex:s ex:p \"hi\"@en .", &g).ok());
+  g.Finalize();
+  EXPECT_TRUE(g.dict().Find(Term::Literal("hi", "", "en")).has_value());
+}
+
+TEST(TurtleTest, Errors) {
+  for (const char* bad : {
+           "ex:s ex:p ex:o .",                       // undeclared prefix
+           "@prefix ex: <http://e/> . ex:s ex:p .",  // missing object
+           "@prefix ex: <http://e/> . ex:s ex:p ex:o",  // missing dot
+           "@prefix ex: <http://e/> . ex:s ex:p [ ex:q .",  // unclosed bracket
+       }) {
+    Graph g;
+    EXPECT_FALSE(ParseTurtle(bad, &g).ok()) << bad;
+  }
+}
+
+TEST(TurtleTest, NestedBlankNodes) {
+  Graph g;
+  std::string ttl =
+      "@prefix ex: <http://e/> . ex:s ex:p [ ex:q [ ex:r ex:o ] ] .";
+  ASSERT_TRUE(ParseTurtle(ttl, &g).ok());
+  g.Finalize();
+  EXPECT_EQ(g.NumTriples(), 3u);
+}
+
+}  // namespace
+}  // namespace shapestats::rdf

@@ -1,0 +1,182 @@
+// Unit tests for src/stats: global statistics and the shapes annotator.
+#include <gtest/gtest.h>
+
+#include "rdf/turtle.h"
+#include "shacl/generator.h"
+#include "stats/annotator.h"
+#include "stats/global_stats.h"
+
+namespace shapestats::stats {
+namespace {
+
+class StatsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string ttl = R"(
+@prefix ex: <http://ex/> .
+ex:s1 a ex:Student ; ex:takes ex:c1, ex:c2 ; ex:name "s1" .
+ex:s2 a ex:Student ; ex:takes ex:c1 ; ex:name "s2" .
+ex:s3 a ex:Student ; ex:name "s3" .
+ex:p1 a ex:Prof ; ex:teaches ex:c1 ; ex:name "p1" .
+ex:c1 a ex:Course .
+ex:c2 a ex:Course .
+)";
+    ASSERT_TRUE(rdf::ParseTurtle(ttl, &graph_).ok());
+    graph_.Finalize();
+    gs_ = GlobalStats::Compute(graph_);
+  }
+
+  rdf::TermId Iri(const std::string& local) {
+    auto id = graph_.dict().FindIri("http://ex/" + local);
+    EXPECT_TRUE(id.has_value()) << local;
+    return id.value_or(rdf::kInvalidTermId);
+  }
+
+  rdf::Graph graph_;
+  GlobalStats gs_;
+};
+
+TEST_F(StatsFixture, WholeGraphCounts) {
+  EXPECT_EQ(gs_.num_triples, 14u);
+  EXPECT_EQ(gs_.num_distinct_subjects, 6u);
+  // objects: Student, Prof, Course, c1, c2, "s1","s2","s3","p1" = 9
+  EXPECT_EQ(gs_.num_distinct_objects, 9u);
+}
+
+TEST_F(StatsFixture, TypeAggregates) {
+  EXPECT_NE(gs_.rdf_type_id, rdf::kInvalidTermId);
+  EXPECT_EQ(gs_.num_type_triples, 6u);
+  EXPECT_EQ(gs_.num_type_subjects, 6u);
+  EXPECT_EQ(gs_.num_distinct_classes, 3u);
+}
+
+TEST_F(StatsFixture, PerClassCounts) {
+  EXPECT_EQ(gs_.ClassCount(Iri("Student")), 3u);
+  EXPECT_EQ(gs_.ClassCount(Iri("Prof")), 1u);
+  EXPECT_EQ(gs_.ClassCount(Iri("Course")), 2u);
+  EXPECT_EQ(gs_.ClassCount(Iri("name")), 0u);  // not a class
+}
+
+TEST_F(StatsFixture, PerPredicateDscDoc) {
+  const PredicateStats* takes = gs_.Predicate(Iri("takes"));
+  ASSERT_NE(takes, nullptr);
+  EXPECT_EQ(takes->count, 3u);
+  EXPECT_EQ(takes->dsc, 2u);  // s1, s2
+  EXPECT_EQ(takes->doc, 2u);  // c1, c2
+  const PredicateStats* name = gs_.Predicate(Iri("name"));
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->count, 4u);
+  EXPECT_EQ(name->dsc, 4u);
+  EXPECT_EQ(name->doc, 4u);
+  EXPECT_EQ(gs_.Predicate(Iri("Student")), nullptr);  // not a predicate
+}
+
+TEST_F(StatsFixture, VoidSerializationMentionsEverything) {
+  std::string ttl = WriteVoidTurtle(gs_, graph_.dict());
+  EXPECT_NE(ttl.find("void:triples 14"), std::string::npos);
+  EXPECT_NE(ttl.find("http://ex/takes"), std::string::npos);
+  EXPECT_NE(ttl.find("void:distinctSubjects"), std::string::npos);
+}
+
+TEST_F(StatsFixture, MemoryBytesPositive) { EXPECT_GT(gs_.MemoryBytes(), 0u); }
+
+class AnnotatorFixture : public StatsFixture {
+ protected:
+  void SetUp() override {
+    StatsFixture::SetUp();
+    auto shapes = shacl::GenerateShapes(graph_);
+    ASSERT_TRUE(shapes.ok());
+    shapes_ = std::move(shapes).value();
+    auto report = AnnotateShapes(graph_, &shapes_);
+    ASSERT_TRUE(report.ok());
+    report_ = *report;
+  }
+  shacl::ShapesGraph shapes_;
+  AnnotatorReport report_;
+};
+
+TEST_F(AnnotatorFixture, AnnotatesEveryShape) {
+  EXPECT_TRUE(shapes_.FullyAnnotated());
+  EXPECT_EQ(report_.node_shapes_annotated, shapes_.NumNodeShapes());
+  EXPECT_EQ(report_.property_shapes_annotated, shapes_.NumPropertyShapes());
+  EXPECT_GE(report_.elapsed_ms, 0.0);
+}
+
+TEST_F(AnnotatorFixture, NodeShapeCounts) {
+  EXPECT_EQ(shapes_.FindByClass("http://ex/Student")->count, 3u);
+  EXPECT_EQ(shapes_.FindByClass("http://ex/Course")->count, 2u);
+}
+
+TEST_F(AnnotatorFixture, PropertyShapeStatistics) {
+  const shacl::PropertyShape* takes =
+      shapes_.FindProperty("http://ex/Student", "http://ex/takes");
+  ASSERT_NE(takes, nullptr);
+  EXPECT_EQ(takes->count, 3u);          // 3 takes-triples from Students
+  EXPECT_EQ(takes->min_count, 0u);      // s3 takes nothing
+  EXPECT_EQ(takes->max_count, 2u);      // s1 takes two
+  EXPECT_EQ(takes->distinct_count, 2u); // c1, c2
+  const shacl::PropertyShape* name =
+      shapes_.FindProperty("http://ex/Student", "http://ex/name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->count, 3u);  // only Student names, not the Prof's
+  EXPECT_EQ(name->min_count, 1u);
+  EXPECT_EQ(name->max_count, 1u);
+  EXPECT_EQ(name->distinct_count, 3u);
+}
+
+TEST_F(AnnotatorFixture, ClassLocalCountsDifferFromGlobal) {
+  // The whole point of shape statistics: name has 4 triples globally but 3
+  // within the Student shape.
+  const PredicateStats* global_name = gs_.Predicate(Iri("name"));
+  const shacl::PropertyShape* student_name =
+      shapes_.FindProperty("http://ex/Student", "http://ex/name");
+  EXPECT_LT(*student_name->count, global_name->count);
+}
+
+TEST(AnnotatorTest, UnknownPathGetsZeroStats) {
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(
+      "@prefix ex: <http://e/> . ex:a a ex:T ; ex:p ex:b .", &g).ok());
+  g.Finalize();
+  shacl::ShapesGraph shapes;
+  shacl::NodeShape ns;
+  ns.iri = "http://shapes/T";
+  ns.target_class = "http://e/T";
+  shacl::PropertyShape ps;
+  ps.path = "http://e/absent";
+  ns.properties.push_back(ps);
+  ASSERT_TRUE(shapes.Add(std::move(ns)).ok());
+  ASSERT_TRUE(AnnotateShapes(g, &shapes).ok());
+  const shacl::PropertyShape* back =
+      shapes.FindProperty("http://e/T", "http://e/absent");
+  EXPECT_EQ(back->count, 0u);
+  EXPECT_EQ(back->min_count, 0u);
+  EXPECT_EQ(back->max_count, 0u);
+  EXPECT_EQ(back->distinct_count, 0u);
+}
+
+TEST(AnnotatorTest, RequiresFinalizedGraph) {
+  rdf::Graph g;
+  shacl::ShapesGraph shapes;
+  EXPECT_FALSE(AnnotateShapes(g, &shapes).ok());
+}
+
+TEST(AnnotatorTest, MultiTypedInstancesCountInBothShapes) {
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(R"(
+@prefix ex: <http://e/> .
+ex:x a ex:A, ex:B ; ex:p ex:y .
+ex:z a ex:A ; ex:p ex:y .
+)", &g).ok());
+  g.Finalize();
+  auto shapes = shacl::GenerateShapes(g);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_TRUE(AnnotateShapes(g, &shapes.value()).ok());
+  EXPECT_EQ(shapes->FindByClass("http://e/A")->count, 2u);
+  EXPECT_EQ(shapes->FindByClass("http://e/B")->count, 1u);
+  EXPECT_EQ(shapes->FindProperty("http://e/A", "http://e/p")->count, 2u);
+  EXPECT_EQ(shapes->FindProperty("http://e/B", "http://e/p")->count, 1u);
+}
+
+}  // namespace
+}  // namespace shapestats::stats

@@ -1,0 +1,173 @@
+// Unit tests for src/util: Status/Result, string helpers, RNG, tables.
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace shapestats {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::ParseError("bad token");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_EQ(st.message(), "bad token");
+  EXPECT_EQ(st.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                    StatusCode::kParseError, StatusCode::kNotFound,
+                    StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+                    StatusCode::kIOError, StatusCode::kUnsupported,
+                    StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = -1;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status st = UseHalf(3, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 5);  // untouched on error
+}
+
+TEST(StringUtilTest, TrimAndAffixes) {
+  EXPECT_EQ(Trim("  ab\t\n"), "ab");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("  "), "");
+  EXPECT_TRUE(StartsWith("prefix:rest", "prefix:"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+}
+
+TEST(StringUtilTest, SplitJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+  EXPECT_EQ(WithCommas(1000000000ULL), "1,000,000,000");
+}
+
+TEST(StringUtilTest, CompactDouble) {
+  EXPECT_EQ(CompactDouble(1.0), "1");
+  EXPECT_EQ(CompactDouble(1.50), "1.5");
+  EXPECT_EQ(CompactDouble(0.25), "0.25");
+  EXPECT_EQ(CompactDouble(std::numeric_limits<double>::infinity()), "inf");
+}
+
+TEST(StringUtilTest, LiteralEscapingRoundTrips) {
+  std::string raw = "line1\nline2\t\"quoted\"\\slash";
+  EXPECT_EQ(UnescapeLiteral(EscapeLiteral(raw)), raw);
+  EXPECT_EQ(EscapeLiteral("\n"), "\\n");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(11);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Zipf(100, 1.2);
+    ASSERT_LT(v, 100u);
+    counts[v]++;
+  }
+  // Rank 0 must dominate rank 50 by a wide margin under s=1.2.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(RngTest, ZipfHandlesSLessEqualOne) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.Zipf(50, 0.8), 50u);
+  }
+  EXPECT_EQ(rng.Zipf(1, 1.5), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "count"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "12345"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| name      | count |"), std::string::npos);
+  EXPECT_NE(out.find("| long-name | 12345 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| x | "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shapestats
