@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stats.dir/bench_ablation_stats.cc.o"
+  "CMakeFiles/bench_ablation_stats.dir/bench_ablation_stats.cc.o.d"
+  "bench_ablation_stats"
+  "bench_ablation_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_estimators.dir/bench_extended_estimators.cc.o"
+  "CMakeFiles/bench_extended_estimators.dir/bench_extended_estimators.cc.o.d"
+  "bench_extended_estimators"
+  "bench_extended_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_runtime_lubm.dir/bench_fig4a_runtime_lubm.cc.o"
+  "CMakeFiles/bench_fig4a_runtime_lubm.dir/bench_fig4a_runtime_lubm.cc.o.d"
+  "bench_fig4a_runtime_lubm"
+  "bench_fig4a_runtime_lubm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_runtime_lubm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

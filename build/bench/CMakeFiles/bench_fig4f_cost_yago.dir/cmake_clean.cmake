@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4f_cost_yago.dir/bench_fig4f_cost_yago.cc.o"
+  "CMakeFiles/bench_fig4f_cost_yago.dir/bench_fig4f_cost_yago.cc.o.d"
+  "bench_fig4f_cost_yago"
+  "bench_fig4f_cost_yago.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4f_cost_yago.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shex_vs_stats.dir/bench_shex_vs_stats.cc.o"
+  "CMakeFiles/bench_shex_vs_stats.dir/bench_shex_vs_stats.cc.o.d"
+  "bench_shex_vs_stats"
+  "bench_shex_vs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shex_vs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watdiv_appendix.dir/bench_watdiv_appendix.cc.o"
+  "CMakeFiles/bench_watdiv_appendix.dir/bench_watdiv_appendix.cc.o.d"
+  "bench_watdiv_appendix"
+  "bench_watdiv_appendix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watdiv_appendix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

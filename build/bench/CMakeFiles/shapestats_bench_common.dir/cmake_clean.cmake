@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/shapestats_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/shapestats_bench_common.dir/bench_figures.cc.o"
+  "CMakeFiles/shapestats_bench_common.dir/bench_figures.cc.o.d"
+  "libshapestats_bench_common.a"
+  "libshapestats_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shacl_annotator_tool.dir/shacl_annotator_tool.cpp.o"
+  "CMakeFiles/shacl_annotator_tool.dir/shacl_annotator_tool.cpp.o.d"
+  "shacl_annotator_tool"
+  "shacl_annotator_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shacl_annotator_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shacl_annotator_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yago_heterogeneity.dir/yago_heterogeneity.cpp.o"
+  "CMakeFiles/yago_heterogeneity.dir/yago_heterogeneity.cpp.o.d"
+  "yago_heterogeneity"
+  "yago_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yago_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

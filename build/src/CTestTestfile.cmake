@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rdf")
+subdirs("sparql")
+subdirs("shacl")
+subdirs("stats")
+subdirs("card")
+subdirs("opt")
+subdirs("exec")
+subdirs("engine")
+subdirs("baselines")
+subdirs("datagen")
+subdirs("workload")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/charsets/char_pairs.cc" "src/baselines/CMakeFiles/shapestats_baselines.dir/charsets/char_pairs.cc.o" "gcc" "src/baselines/CMakeFiles/shapestats_baselines.dir/charsets/char_pairs.cc.o.d"
+  "/root/repo/src/baselines/charsets/char_sets.cc" "src/baselines/CMakeFiles/shapestats_baselines.dir/charsets/char_sets.cc.o" "gcc" "src/baselines/CMakeFiles/shapestats_baselines.dir/charsets/char_sets.cc.o.d"
+  "/root/repo/src/baselines/heuristic/heuristic_planners.cc" "src/baselines/CMakeFiles/shapestats_baselines.dir/heuristic/heuristic_planners.cc.o" "gcc" "src/baselines/CMakeFiles/shapestats_baselines.dir/heuristic/heuristic_planners.cc.o.d"
+  "/root/repo/src/baselines/sampling/wander_join.cc" "src/baselines/CMakeFiles/shapestats_baselines.dir/sampling/wander_join.cc.o" "gcc" "src/baselines/CMakeFiles/shapestats_baselines.dir/sampling/wander_join.cc.o.d"
+  "/root/repo/src/baselines/shex/shex_heuristic.cc" "src/baselines/CMakeFiles/shapestats_baselines.dir/shex/shex_heuristic.cc.o" "gcc" "src/baselines/CMakeFiles/shapestats_baselines.dir/shex/shex_heuristic.cc.o.d"
+  "/root/repo/src/baselines/sumrdf/summary.cc" "src/baselines/CMakeFiles/shapestats_baselines.dir/sumrdf/summary.cc.o" "gcc" "src/baselines/CMakeFiles/shapestats_baselines.dir/sumrdf/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/card/CMakeFiles/shapestats_card.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/shapestats_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/shapestats_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/shapestats_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/shacl/CMakeFiles/shapestats_shacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/shapestats_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shapestats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

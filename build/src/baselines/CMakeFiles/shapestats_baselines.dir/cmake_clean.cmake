@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_baselines.dir/charsets/char_pairs.cc.o"
+  "CMakeFiles/shapestats_baselines.dir/charsets/char_pairs.cc.o.d"
+  "CMakeFiles/shapestats_baselines.dir/charsets/char_sets.cc.o"
+  "CMakeFiles/shapestats_baselines.dir/charsets/char_sets.cc.o.d"
+  "CMakeFiles/shapestats_baselines.dir/heuristic/heuristic_planners.cc.o"
+  "CMakeFiles/shapestats_baselines.dir/heuristic/heuristic_planners.cc.o.d"
+  "CMakeFiles/shapestats_baselines.dir/sampling/wander_join.cc.o"
+  "CMakeFiles/shapestats_baselines.dir/sampling/wander_join.cc.o.d"
+  "CMakeFiles/shapestats_baselines.dir/shex/shex_heuristic.cc.o"
+  "CMakeFiles/shapestats_baselines.dir/shex/shex_heuristic.cc.o.d"
+  "CMakeFiles/shapestats_baselines.dir/sumrdf/summary.cc.o"
+  "CMakeFiles/shapestats_baselines.dir/sumrdf/summary.cc.o.d"
+  "libshapestats_baselines.a"
+  "libshapestats_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

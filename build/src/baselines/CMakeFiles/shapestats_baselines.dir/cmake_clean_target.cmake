@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshapestats_baselines.a"
+)

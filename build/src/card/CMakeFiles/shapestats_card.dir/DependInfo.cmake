@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/card/estimator.cc" "src/card/CMakeFiles/shapestats_card.dir/estimator.cc.o" "gcc" "src/card/CMakeFiles/shapestats_card.dir/estimator.cc.o.d"
+  "/root/repo/src/card/provider.cc" "src/card/CMakeFiles/shapestats_card.dir/provider.cc.o" "gcc" "src/card/CMakeFiles/shapestats_card.dir/provider.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparql/CMakeFiles/shapestats_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/shapestats_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/shacl/CMakeFiles/shapestats_shacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/shapestats_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shapestats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_card.dir/estimator.cc.o"
+  "CMakeFiles/shapestats_card.dir/estimator.cc.o.d"
+  "CMakeFiles/shapestats_card.dir/provider.cc.o"
+  "CMakeFiles/shapestats_card.dir/provider.cc.o.d"
+  "libshapestats_card.a"
+  "libshapestats_card.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_card.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_datagen.dir/lubm.cc.o"
+  "CMakeFiles/shapestats_datagen.dir/lubm.cc.o.d"
+  "CMakeFiles/shapestats_datagen.dir/watdiv.cc.o"
+  "CMakeFiles/shapestats_datagen.dir/watdiv.cc.o.d"
+  "CMakeFiles/shapestats_datagen.dir/yago.cc.o"
+  "CMakeFiles/shapestats_datagen.dir/yago.cc.o.d"
+  "libshapestats_datagen.a"
+  "libshapestats_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

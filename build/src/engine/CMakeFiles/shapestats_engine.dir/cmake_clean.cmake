@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_engine.dir/query_engine.cc.o"
+  "CMakeFiles/shapestats_engine.dir/query_engine.cc.o.d"
+  "libshapestats_engine.a"
+  "libshapestats_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_exec.dir/executor.cc.o"
+  "CMakeFiles/shapestats_exec.dir/executor.cc.o.d"
+  "CMakeFiles/shapestats_exec.dir/select_executor.cc.o"
+  "CMakeFiles/shapestats_exec.dir/select_executor.cc.o.d"
+  "libshapestats_exec.a"
+  "libshapestats_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_opt.dir/join_order.cc.o"
+  "CMakeFiles/shapestats_opt.dir/join_order.cc.o.d"
+  "libshapestats_opt.a"
+  "libshapestats_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/shapestats_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/shapestats_rdf.dir/graph.cc.o"
+  "CMakeFiles/shapestats_rdf.dir/graph.cc.o.d"
+  "CMakeFiles/shapestats_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/shapestats_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/shapestats_rdf.dir/snapshot.cc.o"
+  "CMakeFiles/shapestats_rdf.dir/snapshot.cc.o.d"
+  "CMakeFiles/shapestats_rdf.dir/term.cc.o"
+  "CMakeFiles/shapestats_rdf.dir/term.cc.o.d"
+  "CMakeFiles/shapestats_rdf.dir/turtle.cc.o"
+  "CMakeFiles/shapestats_rdf.dir/turtle.cc.o.d"
+  "libshapestats_rdf.a"
+  "libshapestats_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

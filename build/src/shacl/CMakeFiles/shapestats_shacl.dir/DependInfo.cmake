@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shacl/generator.cc" "src/shacl/CMakeFiles/shapestats_shacl.dir/generator.cc.o" "gcc" "src/shacl/CMakeFiles/shapestats_shacl.dir/generator.cc.o.d"
+  "/root/repo/src/shacl/shapes.cc" "src/shacl/CMakeFiles/shapestats_shacl.dir/shapes.cc.o" "gcc" "src/shacl/CMakeFiles/shapestats_shacl.dir/shapes.cc.o.d"
+  "/root/repo/src/shacl/shapes_io.cc" "src/shacl/CMakeFiles/shapestats_shacl.dir/shapes_io.cc.o" "gcc" "src/shacl/CMakeFiles/shapestats_shacl.dir/shapes_io.cc.o.d"
+  "/root/repo/src/shacl/validator.cc" "src/shacl/CMakeFiles/shapestats_shacl.dir/validator.cc.o" "gcc" "src/shacl/CMakeFiles/shapestats_shacl.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/shapestats_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shapestats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

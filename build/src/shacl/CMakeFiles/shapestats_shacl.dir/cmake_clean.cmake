@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_shacl.dir/generator.cc.o"
+  "CMakeFiles/shapestats_shacl.dir/generator.cc.o.d"
+  "CMakeFiles/shapestats_shacl.dir/shapes.cc.o"
+  "CMakeFiles/shapestats_shacl.dir/shapes.cc.o.d"
+  "CMakeFiles/shapestats_shacl.dir/shapes_io.cc.o"
+  "CMakeFiles/shapestats_shacl.dir/shapes_io.cc.o.d"
+  "CMakeFiles/shapestats_shacl.dir/validator.cc.o"
+  "CMakeFiles/shapestats_shacl.dir/validator.cc.o.d"
+  "libshapestats_shacl.a"
+  "libshapestats_shacl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_shacl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/encoded_bgp.cc" "src/sparql/CMakeFiles/shapestats_sparql.dir/encoded_bgp.cc.o" "gcc" "src/sparql/CMakeFiles/shapestats_sparql.dir/encoded_bgp.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/sparql/CMakeFiles/shapestats_sparql.dir/parser.cc.o" "gcc" "src/sparql/CMakeFiles/shapestats_sparql.dir/parser.cc.o.d"
+  "/root/repo/src/sparql/query.cc" "src/sparql/CMakeFiles/shapestats_sparql.dir/query.cc.o" "gcc" "src/sparql/CMakeFiles/shapestats_sparql.dir/query.cc.o.d"
+  "/root/repo/src/sparql/query_graph.cc" "src/sparql/CMakeFiles/shapestats_sparql.dir/query_graph.cc.o" "gcc" "src/sparql/CMakeFiles/shapestats_sparql.dir/query_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/shapestats_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shapestats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

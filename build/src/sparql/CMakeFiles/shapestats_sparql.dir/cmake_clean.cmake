@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_sparql.dir/encoded_bgp.cc.o"
+  "CMakeFiles/shapestats_sparql.dir/encoded_bgp.cc.o.d"
+  "CMakeFiles/shapestats_sparql.dir/parser.cc.o"
+  "CMakeFiles/shapestats_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/shapestats_sparql.dir/query.cc.o"
+  "CMakeFiles/shapestats_sparql.dir/query.cc.o.d"
+  "CMakeFiles/shapestats_sparql.dir/query_graph.cc.o"
+  "CMakeFiles/shapestats_sparql.dir/query_graph.cc.o.d"
+  "libshapestats_sparql.a"
+  "libshapestats_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

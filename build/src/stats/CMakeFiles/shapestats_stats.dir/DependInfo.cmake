@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/annotator.cc" "src/stats/CMakeFiles/shapestats_stats.dir/annotator.cc.o" "gcc" "src/stats/CMakeFiles/shapestats_stats.dir/annotator.cc.o.d"
+  "/root/repo/src/stats/global_stats.cc" "src/stats/CMakeFiles/shapestats_stats.dir/global_stats.cc.o" "gcc" "src/stats/CMakeFiles/shapestats_stats.dir/global_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/shapestats_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/shacl/CMakeFiles/shapestats_shacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shapestats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

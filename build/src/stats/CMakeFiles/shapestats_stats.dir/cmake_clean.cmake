@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_stats.dir/annotator.cc.o"
+  "CMakeFiles/shapestats_stats.dir/annotator.cc.o.d"
+  "CMakeFiles/shapestats_stats.dir/global_stats.cc.o"
+  "CMakeFiles/shapestats_stats.dir/global_stats.cc.o.d"
+  "libshapestats_stats.a"
+  "libshapestats_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_util.dir/random.cc.o"
+  "CMakeFiles/shapestats_util.dir/random.cc.o.d"
+  "CMakeFiles/shapestats_util.dir/status.cc.o"
+  "CMakeFiles/shapestats_util.dir/status.cc.o.d"
+  "CMakeFiles/shapestats_util.dir/string_util.cc.o"
+  "CMakeFiles/shapestats_util.dir/string_util.cc.o.d"
+  "CMakeFiles/shapestats_util.dir/table_printer.cc.o"
+  "CMakeFiles/shapestats_util.dir/table_printer.cc.o.d"
+  "libshapestats_util.a"
+  "libshapestats_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

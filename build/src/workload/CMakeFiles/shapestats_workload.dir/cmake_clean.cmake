@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shapestats_workload.dir/queries.cc.o"
+  "CMakeFiles/shapestats_workload.dir/queries.cc.o.d"
+  "libshapestats_workload.a"
+  "libshapestats_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shapestats_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

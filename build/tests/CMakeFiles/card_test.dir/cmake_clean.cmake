@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/card_test.dir/card_test.cpp.o"
+  "CMakeFiles/card_test.dir/card_test.cpp.o.d"
+  "card_test"
+  "card_test.pdb"
+  "card_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/card_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

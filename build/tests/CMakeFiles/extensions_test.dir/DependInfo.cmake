@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/extensions_test.dir/extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/shapestats_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/shapestats_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/shapestats_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/shapestats_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/shapestats_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/card/CMakeFiles/shapestats_card.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/shapestats_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/shapestats_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/shacl/CMakeFiles/shapestats_shacl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/shapestats_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shapestats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_exec_test.dir/opt_exec_test.cpp.o"
+  "CMakeFiles/opt_exec_test.dir/opt_exec_test.cpp.o.d"
+  "opt_exec_test"
+  "opt_exec_test.pdb"
+  "opt_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shacl_test.dir/shacl_test.cpp.o"
+  "CMakeFiles/shacl_test.dir/shacl_test.cpp.o.d"
+  "shacl_test"
+  "shacl_test.pdb"
+  "shacl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shacl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
