@@ -1,12 +1,16 @@
 #include "bench_common.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 
 #include "datagen/lubm.h"
 #include "datagen/watdiv.h"
 #include "datagen/yago.h"
 #include "exec/executor.h"
+#include "obs/trace.h"
 #include "opt/join_order.h"
 #include "shacl/generator.h"
 #include "shacl/shapes_io.h"
@@ -140,8 +144,11 @@ QueryRun RunQuery(const Dataset& ds, Approach a, const std::string& text,
   eopts.timeout_ms = options.timeout_ms;
   eopts.max_intermediate_rows = options.max_rows;
 
-  // Unshuffled run: estimates and plan cost.
+  // Unshuffled run: estimates and plan cost. With SHAPESTATS_TRACE_DIR set,
+  // also collects a full QueryTrace and writes it as a JSON artifact.
   {
+    const char* trace_dir = std::getenv("SHAPESTATS_TRACE_DIR");
+    obs::QueryTrace trace;
     auto bgp = sparql::EncodeBgp(*parsed, ds.graph.dict());
     opt::Plan plan = PlanFor(ds, a, bgp);
     run.est_plan_cost = plan.total_cost;
@@ -149,10 +156,45 @@ QueryRun RunQuery(const Dataset& ds, Approach a, const std::string& text,
     run.est_result_card =
         provider ? provider->EstimateResultCardinality(bgp)
                  : std::numeric_limits<double>::quiet_NaN();
-    auto r = exec::ExecuteBgp(ds.graph, bgp, plan.order, eopts);
+    exec::ExecOptions traced_opts = eopts;
+    if (trace_dir != nullptr) traced_opts.trace = &trace.exec;
+    auto r = exec::ExecuteBgp(ds.graph, bgp, plan.order, traced_opts);
     run.num_results = r->num_results;
     run.true_plan_cost = r->TrueCost();
     run.timed_out = r->timed_out;
+    if (trace_dir != nullptr) {
+      trace.query = text;
+      trace.optimizer = plan.provider;
+      trace.est_total_cost = plan.total_cost;
+      trace.true_total_cost = r->TrueCost();
+      trace.num_results = r->num_results;
+      trace.timed_out = r->timed_out;
+      trace.total_ms = r->elapsed_ms;
+      for (size_t k = 0; k < plan.order.size(); ++k) {
+        obs::StepTrace step;
+        step.step = static_cast<uint32_t>(k + 1);
+        step.pattern = plan.order[k];
+        step.pattern_text = parsed->patterns[plan.order[k]].ToString();
+        step.source = ApproachName(a);
+        if (plan.order[k] < plan.tp_estimates.size()) {
+          step.tp_est = plan.tp_estimates[plan.order[k]].card;
+        }
+        step.est_card = k < plan.step_estimates.size() ? plan.step_estimates[k] : 0;
+        step.true_card = r->step_cards[k];
+        step.q_error = obs::QError(step.est_card, static_cast<double>(step.true_card));
+        if (k < trace.exec.step_rows_scanned.size()) {
+          step.rows_scanned = trace.exec.step_rows_scanned[k];
+          step.index_probes = trace.exec.step_probes[k];
+        }
+        trace.steps.push_back(std::move(step));
+      }
+      static std::atomic<uint64_t> seq{0};
+      std::string path = std::string(trace_dir) + "/trace_" + ds.name + "_" +
+                         ApproachName(a) + "_" +
+                         std::to_string(seq.fetch_add(1)) + ".json";
+      std::ofstream out(path);
+      if (out) out << trace.ToJson() << "\n";
+    }
   }
 
   // Shuffled repetitions: runtime distribution (the paper shuffles the BGP
@@ -179,12 +221,7 @@ QueryRun RunQuery(const Dataset& ds, Approach a, const std::string& text,
   return run;
 }
 
-double QError(double estimate, double truth) {
-  double e = std::max(1.0, estimate);
-  double c = std::max(1.0, truth);
-  if (std::isnan(estimate)) return std::numeric_limits<double>::quiet_NaN();
-  return std::max(e / c, c / e);
-}
+double QError(double estimate, double truth) { return obs::QError(estimate, truth); }
 
 std::string FormatMs(const QueryRun& run) {
   if (run.timed_out) return "TO";

@@ -78,6 +78,11 @@ struct RunOptions {
 
 /// Runs one query with one approach: `reps` shuffled repetitions for the
 /// runtime statistics plus one unshuffled run for plan cost and estimates.
+/// When the SHAPESTATS_TRACE_DIR environment variable is set, the
+/// unshuffled run additionally writes a per-query JSON trace artifact
+/// (`trace_<dataset>_<approach>_<seq>.json`, QueryTrace schema) into that
+/// directory, so every benchmark run leaves machine-readable evidence of
+/// per-step estimates vs. ground truth.
 QueryRun RunQuery(const Dataset& ds, Approach a, const std::string& text,
                   const RunOptions& options = {});
 

@@ -11,6 +11,9 @@
 //   .stats               dataset and statistics summary
 //   .shapes [class]      list node shapes (or one shape's statistics)
 //   .explain <query>     show the optimized plan without executing
+//   .analyze <query>     EXPLAIN ANALYZE: execute and show per-step
+//                        estimated vs true cardinality, q-error, timings
+//   .metrics             dump the process-wide metrics registry
 //   .quit                exit
 //   anything else        executed as a SPARQL query (may span lines;
 //                        terminate with an empty line)
@@ -20,6 +23,7 @@
 
 #include "datagen/lubm.h"
 #include "engine/query_engine.h"
+#include "obs/metrics.h"
 #include "sparql/parser.h"
 #include "util/string_util.h"
 
@@ -115,11 +119,23 @@ int main(int argc, char** argv) {
       continue;
     }
     if (trimmed == ".help") {
-      std::printf(".stats | .shapes [class] | .explain <query> | .quit\n");
+      std::printf(
+          ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
+          ".metrics | .quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
+    } else if (trimmed == ".metrics") {
+      std::fputs(obs::MetricsRegistry::Global().ToText().c_str(), stdout);
     } else if (StartsWith(trimmed, ".shapes")) {
       PrintShapes(eng, std::string(Trim(trimmed.substr(7))));
+    } else if (StartsWith(trimmed, ".analyze")) {
+      std::string text = ReadQuery(trimmed.substr(8));
+      auto analyzed = eng.ExplainAnalyze(text);
+      if (analyzed.ok()) {
+        std::fputs(analyzed->text.c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", analyzed.status().ToString().c_str());
+      }
     } else if (StartsWith(trimmed, ".explain")) {
       std::string text = ReadQuery(trimmed.substr(8));
       auto plan = eng.Explain(text);

@@ -5,10 +5,12 @@
 // predicate statistics.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
 #include "card/provider.h"
+#include "obs/metrics.h"
 #include "rdf/dictionary.h"
 #include "shacl/shapes.h"
 #include "stats/global_stats.h"
@@ -24,6 +26,15 @@ enum class StatsMode { kGlobal, kShape };
 /// classes, the most selective (smallest) class wins.
 std::unordered_map<sparql::VarId, rdf::TermId> ComputeShapeAnchors(
     const sparql::EncodedBgp& bgp, const stats::GlobalStats& gs);
+
+/// A per-pattern estimate plus the provenance the observability layer
+/// reports: which statistics source answered ("shape" vs "global") and the
+/// Table-1 formula case that fired.
+struct EstimateDetail {
+  TpEstimate est;
+  const char* source = "global";  // "shape" | "global"
+  const char* formula = "";       // Table-1 case label
+};
 
 /// Table-1 estimator. In kShape mode, node/property shape statistics
 /// override the global formulas for anchored patterns; everything else
@@ -53,18 +64,52 @@ class CardinalityEstimator : public PlannerStatsProvider {
       const sparql::EncodedPattern& tp,
       const std::unordered_map<sparql::VarId, rdf::TermId>& anchors) const;
 
+  /// Like EstimatePattern but also reports the statistics source and the
+  /// Table-1 formula that fired (consumed by ExplainAnalyze).
+  EstimateDetail EstimatePatternDetailed(
+      const sparql::EncodedPattern& tp,
+      const std::unordered_map<sparql::VarId, rdf::TermId>& anchors) const;
+
+  /// Detailed estimates for the whole BGP (anchors computed internally).
+  std::vector<EstimateDetail> EstimateAllDetailed(
+      const sparql::EncodedBgp& bgp) const;
+
   StatsMode mode() const { return mode_; }
 
  private:
-  TpEstimate GlobalEstimate(const sparql::EncodedPattern& tp) const;
+  /// Core of EstimatePatternDetailed. Counter publication is batched by the
+  /// callers (one atomic add per BGP, not per pattern): the chosen source is
+  /// tallied into `global_n`/`shape_n` instead of the registry directly.
+  EstimateDetail EstimateDetailImpl(
+      const sparql::EncodedPattern& tp,
+      const std::unordered_map<sparql::VarId, rdf::TermId>& anchors,
+      uint64_t* global_n, uint64_t* shape_n) const;
+
+  TpEstimate GlobalEstimate(const sparql::EncodedPattern& tp,
+                            const char** formula = nullptr) const;
   std::optional<TpEstimate> ShapeEstimate(
       const sparql::EncodedPattern& tp,
-      const std::unordered_map<sparql::VarId, rdf::TermId>& anchors) const;
+      const std::unordered_map<sparql::VarId, rdf::TermId>& anchors,
+      const char** formula = nullptr) const;
+
+  /// Class-term -> node-shape lookup memoized across queries (the shapes
+  /// graph is immutable after Open). Thread-safe; counts hits/misses into
+  /// the global metrics registry.
+  const shacl::NodeShape* FindShapeCached(rdf::TermId class_id) const;
 
   const stats::GlobalStats& gs_;
   const shacl::ShapesGraph* shapes_;
   const rdf::TermDictionary& dict_;
   StatsMode mode_;
+
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<rdf::TermId, const shacl::NodeShape*> shape_cache_;
+
+  // Instrumentation (resolved once; relaxed atomic adds afterwards).
+  obs::Counter* estimates_global_;
+  obs::Counter* estimates_shape_;
+  obs::Counter* shape_cache_hits_;
+  obs::Counter* shape_cache_misses_;
 };
 
 }  // namespace shapestats::card

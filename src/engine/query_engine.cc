@@ -1,7 +1,10 @@
 #include "engine/query_engine.h"
 
+#include <limits>
 #include <numeric>
 
+#include "exec/executor.h"
+#include "obs/metrics.h"
 #include "opt/join_order.h"
 #include "rdf/ntriples.h"
 #include "shacl/generator.h"
@@ -66,7 +69,8 @@ Result<QueryEngine> QueryEngine::FromNTriplesFile(const std::string& path,
   return Open(std::move(graph), options);
 }
 
-Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp) const {
+Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp,
+                                         obs::PlannerTrace* trace) const {
   if (state_->estimator == nullptr) {
     opt::Plan plan;
     plan.provider = "textual";
@@ -75,17 +79,54 @@ Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp) const {
     plan.step_estimates.assign(bgp.patterns.size(), 0);
     return plan;
   }
-  return opt::PlanJoinOrder(bgp, *state_->estimator);
+  return opt::PlanJoinOrder(bgp, *state_->estimator, trace);
 }
 
-Result<QueryResult> QueryEngine::Execute(std::string_view sparql) const {
+Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
+                                         obs::QueryTrace* trace) const {
+  static obs::Counter* queries =
+      obs::MetricsRegistry::Global().GetCounter("engine.queries");
+  static obs::Histogram* query_ms =
+      obs::MetricsRegistry::Global().GetHistogram("engine.query_ms");
   Timer timer;
+  Timer phase;
   ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
+  if (trace != nullptr) {
+    trace->query = std::string(sparql);
+    trace->AddPhase("parse", phase.ElapsedMs());
+    phase.Reset();
+  }
   sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
+  if (trace != nullptr) {
+    trace->AddPhase("encode", phase.ElapsedMs());
+    phase.Reset();
+  }
   QueryResult result;
   result.shape = sparql::ClassifyShape(bgp);
-  ASSIGN_OR_RETURN(result.plan, PlanQuery(bgp));
+  ASSIGN_OR_RETURN(result.plan,
+                   PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr));
   result.plan_ms = timer.ElapsedMs();
+  exec::ExecOptions eopts = state_->options.exec;
+  if (trace != nullptr) {
+    trace->AddPhase("plan", phase.ElapsedMs());
+    phase.Reset();
+    trace->optimizer = result.plan.provider;
+    trace->query_shape = sparql::QueryShapeName(result.shape);
+    trace->est_total_cost = result.plan.total_cost;
+    eopts.trace = &trace->exec;
+  }
+
+  auto finish = [&](uint64_t num_results, bool timed_out) {
+    result.total_ms = timer.ElapsedMs();
+    queries->Add();
+    query_ms->Observe(result.total_ms);
+    if (trace != nullptr) {
+      trace->AddPhase("execute", phase.ElapsedMs());
+      trace->num_results = num_results;
+      trace->timed_out = timed_out;
+      trace->total_ms = result.total_ms;
+    }
+  };
 
   if (query.is_ask) {
     // One solution suffices.
@@ -93,9 +134,9 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql) const {
     probe.limit = 1;
     ASSIGN_OR_RETURN(exec::ResultTable table,
                      exec::ExecuteSelect(state_->graph, probe, bgp,
-                                         result.plan.order, state_->options.exec));
+                                         result.plan.order, eopts));
     result.ask = !table.rows.empty();
-    result.total_ms = timer.ElapsedMs();
+    finish(table.rows.size(), table.timed_out);
     return result;
   }
   if (query.count_aggregate) {
@@ -107,16 +148,16 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql) const {
     counting.projection.clear();
     ASSIGN_OR_RETURN(exec::ResultTable table,
                      exec::ExecuteSelect(state_->graph, counting, bgp,
-                                         result.plan.order, state_->options.exec));
+                                         result.plan.order, eopts));
     result.count = table.bgp_matches;
-    result.total_ms = timer.ElapsedMs();
+    finish(table.bgp_matches, table.timed_out);
     return result;
   }
 
   ASSIGN_OR_RETURN(result.table,
                    exec::ExecuteSelect(state_->graph, query, bgp,
-                                       result.plan.order, state_->options.exec));
-  result.total_ms = timer.ElapsedMs();
+                                       result.plan.order, eopts));
+  finish(result.table.rows.size(), result.table.timed_out);
   return result;
 }
 
@@ -147,6 +188,82 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
     out += "estimated cost: " +
            WithCommas(static_cast<uint64_t>(plan.total_cost)) + "\n";
   }
+  return out;
+}
+
+Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const {
+  static obs::Counter* analyzes =
+      obs::MetricsRegistry::Global().GetCounter("engine.explain_analyze");
+  AnalyzeResult out;
+  obs::QueryTrace& trace = out.trace;
+  trace.query = std::string(sparql);
+
+  Timer total;
+  Timer phase;
+  ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
+  trace.AddPhase("parse", phase.ElapsedMs());
+  phase.Reset();
+
+  sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
+  trace.AddPhase("encode", phase.ElapsedMs());
+  phase.Reset();
+
+  ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp, &trace.planner));
+  trace.AddPhase("plan", phase.ElapsedMs());
+  phase.Reset();
+  trace.optimizer = plan.provider;
+  trace.query_shape = sparql::QueryShapeName(sparql::ClassifyShape(bgp));
+  trace.est_total_cost = plan.total_cost;
+
+  // Per-pattern estimate provenance (which statistics source / Table-1
+  // formula produced each TP estimate), for the step annotations.
+  std::vector<card::EstimateDetail> details;
+  if (state_->estimator != nullptr) {
+    details = state_->estimator->EstimateAllDetailed(bgp);
+  }
+  trace.AddPhase("estimate", phase.ElapsedMs());
+  phase.Reset();
+
+  // Execute on the profiling executor: true per-step cardinalities (the
+  // paper's TZ Card ground truth) plus probe/scan counters.
+  exec::ExecOptions eopts = state_->options.exec;
+  eopts.trace = &trace.exec;
+  ASSIGN_OR_RETURN(exec::ExecResult run,
+                   exec::ExecuteBgp(state_->graph, bgp, plan.order, eopts));
+  trace.AddPhase("execute", phase.ElapsedMs());
+  trace.num_results = run.num_results;
+  trace.timed_out = run.timed_out;
+  trace.true_total_cost = run.TrueCost();
+
+  for (size_t k = 0; k < plan.order.size(); ++k) {
+    const uint32_t tp = plan.order[k];
+    obs::StepTrace step;
+    step.step = static_cast<uint32_t>(k + 1);
+    step.pattern = tp;
+    step.pattern_text = query.patterns[tp].ToString();
+    if (tp < details.size()) {
+      step.source = details[tp].source;
+      step.formula = details[tp].formula;
+      step.tp_est = details[tp].est.card;
+    } else {
+      step.source = "textual";
+    }
+    step.est_card = k < plan.step_estimates.size() ? plan.step_estimates[k] : 0;
+    step.true_card = run.step_cards[k];
+    step.q_error = state_->estimator != nullptr
+                       ? obs::QError(step.est_card, static_cast<double>(step.true_card))
+                       : std::numeric_limits<double>::quiet_NaN();
+    if (k < trace.exec.step_rows_scanned.size()) {
+      step.rows_scanned = trace.exec.step_rows_scanned[k];
+      step.index_probes = trace.exec.step_probes[k];
+    }
+    trace.steps.push_back(std::move(step));
+  }
+
+  trace.total_ms = total.ElapsedMs();
+  analyzes->Add();
+  out.text = trace.ToTable();
+  out.json = trace.ToJson();
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "card/estimator.h"
 #include "exec/select_executor.h"
+#include "obs/trace.h"
 #include "opt/plan.h"
 #include "rdf/graph.h"
 #include "shacl/shapes.h"
@@ -45,6 +46,17 @@ struct QueryResult {
   double total_ms = 0;  // parse + optimize + execute
 };
 
+/// Result of ExplainAnalyze: the query is executed once on the profiling
+/// executor and the plan is annotated with estimated vs. true cardinality,
+/// q-error, and work counters per join step plus per-phase timings.
+struct AnalyzeResult {
+  obs::QueryTrace trace;
+  /// Human-readable rendering (step table + phases + totals).
+  std::string text;
+  /// Machine-readable trace (same schema as QueryTrace::ToJson).
+  std::string json;
+};
+
 /// Movable handle; all state lives behind one stable heap allocation so
 /// the internal estimator's references survive moves.
 class QueryEngine {
@@ -60,12 +72,21 @@ class QueryEngine {
   QueryEngine(QueryEngine&&) = default;
   QueryEngine& operator=(QueryEngine&&) = default;
 
-  /// Parses, plans, and executes a SELECT query.
-  Result<QueryResult> Execute(std::string_view sparql) const;
+  /// Parses, plans, and executes a SELECT query. When `trace` is non-null
+  /// it is filled with per-phase spans (parse, encode, plan, execute),
+  /// planner decision counters, and executor probe/scan counters.
+  Result<QueryResult> Execute(std::string_view sparql,
+                              obs::QueryTrace* trace = nullptr) const;
 
   /// Parses and plans without executing; returns a human-readable plan
   /// description (pattern order with estimates).
   Result<std::string> Explain(std::string_view sparql) const;
+
+  /// EXPLAIN ANALYZE: plans the query, executes it once on the profiling
+  /// executor, and reports per-step estimated vs. true cardinality with
+  /// q-error, rows scanned and index probes, plus per-phase timings —
+  /// in table and JSON form.
+  Result<AnalyzeResult> ExplainAnalyze(std::string_view sparql) const;
 
   const rdf::Graph& graph() const { return state_->graph; }
   const stats::GlobalStats& global_stats() const { return state_->gs; }
@@ -84,7 +105,8 @@ class QueryEngine {
 
   QueryEngine() = default;
 
-  Result<opt::Plan> PlanQuery(const sparql::EncodedBgp& bgp) const;
+  Result<opt::Plan> PlanQuery(const sparql::EncodedBgp& bgp,
+                              obs::PlannerTrace* trace = nullptr) const;
 
   std::unique_ptr<State> state_;
 };

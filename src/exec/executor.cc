@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace shapestats::exec {
@@ -19,6 +20,10 @@ uint64_t ExecResult::TrueCost() const {
 
 namespace {
 
+// Timeout checks happen every this many work units (index probes + scanned
+// triples), so even plans producing zero rows hit the wall-clock check.
+constexpr uint32_t kTimeoutCheckInterval = 1024;
+
 class Evaluator {
  public:
   Evaluator(const rdf::Graph& graph, const EncodedBgp& bgp,
@@ -27,15 +32,37 @@ class Evaluator {
         bgp_(bgp),
         order_(order),
         options_(options),
+        trace_(options.trace),
         bindings_(bgp.NumVars(), rdf::kInvalidTermId) {
     result_.step_cards.assign(order.size(), 0);
+    if (trace_ != nullptr) {
+      trace_->step_probes.assign(order.size(), 0);
+      trace_->step_rows_scanned.assign(order.size(), 0);
+      trace_->total_probes = 0;
+      trace_->total_rows_scanned = 0;
+    }
   }
 
   ExecResult Run() {
+    static obs::Counter* runs = obs::MetricsRegistry::Global().GetCounter("exec.bgp_runs");
+    static obs::Counter* probes =
+        obs::MetricsRegistry::Global().GetCounter("exec.index_probes");
+    static obs::Counter* scanned =
+        obs::MetricsRegistry::Global().GetCounter("exec.rows_scanned");
+    static obs::Counter* timeouts =
+        obs::MetricsRegistry::Global().GetCounter("exec.timeouts");
     Timer timer;
     if (!order_.empty()) Recurse(0, timer);
     result_.num_results = result_.step_cards.empty() ? 0 : result_.step_cards.back();
     result_.elapsed_ms = timer.ElapsedMs();
+    if (trace_ != nullptr) {
+      trace_->total_probes = probes_;
+      trace_->total_rows_scanned = scanned_;
+    }
+    runs->Add();
+    probes->Add(probes_);
+    scanned->Add(scanned_);
+    if (result_.timed_out) timeouts->Add();
     return std::move(result_);
   }
 
@@ -52,17 +79,27 @@ class Evaluator {
     return std::nullopt;
   }
 
+  /// Amortized wall-clock check: one branch per call, a clock read every
+  /// kTimeoutCheckInterval work units. Work advances on probes and scans,
+  /// not produced rows, so zero-result nested loops still observe it.
+  bool TimedOut(const Timer& timer) {
+    if (options_.timeout_ms <= 0) return false;
+    if (++timeout_ticks_ < kTimeoutCheckInterval) return false;
+    timeout_ticks_ = 0;
+    if (timer.ElapsedMs() > options_.timeout_ms) {
+      result_.timed_out = true;
+      return true;
+    }
+    return false;
+  }
+
   bool Aborted(const Timer& timer) {
     if (options_.max_intermediate_rows &&
         rows_produced_ > options_.max_intermediate_rows) {
       result_.timed_out = true;
       return true;
     }
-    if (options_.timeout_ms > 0 && (rows_produced_ & 0xFFF) == 0 &&
-        timer.ElapsedMs() > options_.timeout_ms) {
-      result_.timed_out = true;
-      return true;
-    }
+    if (result_.timed_out) return true;
     if (options_.limit && !result_.step_cards.empty() &&
         result_.step_cards.back() >= options_.limit) {
       return true;
@@ -79,7 +116,17 @@ class Evaluator {
     OptId p = Resolve(tp.p, &vp);
     OptId o = Resolve(tp.o, &vo);
 
+    ++probes_;
+    if (trace_ != nullptr) ++trace_->step_probes[depth];
+    if (TimedOut(timer)) return;
+
     for (const rdf::Triple& t : graph_.Match(s, p, o)) {
+      ++scanned_;
+      if (trace_ != nullptr) ++trace_->step_rows_scanned[depth];
+      if (TimedOut(timer)) {
+        ClearVars(vs, vp, vo);
+        return;
+      }
       // A variable repeated inside one pattern must match equal terms.
       if (vs && vp && *vs == *vp && t.s != t.p) continue;
       if (vs && vo && *vs == *vo && t.s != t.o) continue;
@@ -117,8 +164,12 @@ class Evaluator {
   const EncodedBgp& bgp_;
   const std::vector<uint32_t>& order_;
   const ExecOptions& options_;
+  obs::ExecTrace* trace_;
   std::vector<TermId> bindings_;
   uint64_t rows_produced_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t scanned_ = 0;
+  uint32_t timeout_ticks_ = 0;
   ExecResult result_;
 };
 

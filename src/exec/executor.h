@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "rdf/graph.h"
 #include "sparql/encoded_bgp.h"
 #include "util/status.h"
@@ -18,10 +19,15 @@ struct ExecOptions {
   /// Abort when the number of produced intermediate rows exceeds this
   /// (0 = unlimited). Mirrors the paper's 10-minute query timeout.
   uint64_t max_intermediate_rows = 0;
-  /// Wall-clock timeout in milliseconds (0 = none).
+  /// Wall-clock timeout in milliseconds (0 = none). Checked on a work
+  /// counter that advances per index probe and per scanned triple, so
+  /// queries stuck producing zero rows still time out.
   double timeout_ms = 0;
   /// If > 0, stop after this many result rows (SPARQL LIMIT).
   uint64_t limit = 0;
+  /// Optional per-step probe/scan counters. When null (the default) the
+  /// executor only maintains scalar totals for the global metrics registry.
+  obs::ExecTrace* trace = nullptr;
 };
 
 struct ExecResult {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -74,6 +75,10 @@ bool Compare(const rdf::Term& ta, CompareOp op, const rdf::Term& tb) {
   return false;
 }
 
+// Timeout checks happen every this many work units (index probes + scanned
+// triples); see exec/executor.cc.
+constexpr uint32_t kTimeoutCheckInterval = 1024;
+
 class SelectEvaluator {
  public:
   SelectEvaluator(const rdf::Graph& graph, const ParsedQuery& query,
@@ -84,14 +89,38 @@ class SelectEvaluator {
         bgp_(bgp),
         order_(order),
         options_(options),
-        bindings_(bgp.NumVars(), rdf::kInvalidTermId) {}
+        trace_(options.trace),
+        bindings_(bgp.NumVars(), rdf::kInvalidTermId) {
+    if (trace_ != nullptr) {
+      trace_->step_probes.assign(order.size(), 0);
+      trace_->step_rows_scanned.assign(order.size(), 0);
+      trace_->total_probes = 0;
+      trace_->total_rows_scanned = 0;
+    }
+  }
 
   Result<ResultTable> Run() {
+    static obs::Counter* runs =
+        obs::MetricsRegistry::Global().GetCounter("exec.select_runs");
+    static obs::Counter* probe_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.index_probes");
+    static obs::Counter* scan_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.rows_scanned");
+    static obs::Counter* timeouts =
+        obs::MetricsRegistry::Global().GetCounter("exec.timeouts");
     Timer timer;
     RETURN_NOT_OK(Prepare());
     if (!filters_unsatisfiable_ && !order_.empty()) Recurse(0, timer);
     RETURN_NOT_OK(ApplyModifiers());
     table_.elapsed_ms = timer.ElapsedMs();
+    if (trace_ != nullptr) {
+      trace_->total_probes = probes_;
+      trace_->total_rows_scanned = scanned_;
+    }
+    runs->Add();
+    probe_counter->Add(probes_);
+    scan_counter->Add(scanned_);
+    if (table_.timed_out) timeouts->Add();
     return std::move(table_);
   }
 
@@ -201,6 +230,18 @@ class SelectEvaluator {
     return std::nullopt;
   }
 
+  // Amortized wall-clock check on probe + scan work; see exec/executor.cc.
+  bool TimedOut(const Timer& timer) {
+    if (options_.timeout_ms <= 0) return false;
+    if (++timeout_ticks_ < kTimeoutCheckInterval) return false;
+    timeout_ticks_ = 0;
+    if (timer.ElapsedMs() > options_.timeout_ms) {
+      table_.timed_out = true;
+      return true;
+    }
+    return false;
+  }
+
   void Recurse(size_t depth, const Timer& timer) {
     const EncodedPattern& tp = bgp_.patterns[order_[depth]];
     if (tp.HasMissingConstant()) return;
@@ -209,7 +250,14 @@ class SelectEvaluator {
     OptId p = Resolve(tp.p, &vp);
     OptId o = Resolve(tp.o, &vo);
 
+    ++probes_;
+    if (trace_ != nullptr) ++trace_->step_probes[depth];
+    if (TimedOut(timer)) return;
+
     for (const rdf::Triple& t : graph_.Match(s, p, o)) {
+      ++scanned_;
+      if (trace_ != nullptr) ++trace_->step_rows_scanned[depth];
+      if (TimedOut(timer)) break;
       if (vs && vp && *vs == *vp && t.s != t.p) continue;
       if (vs && vo && *vs == *vo && t.s != t.o) continue;
       if (vp && vo && *vp == *vo && t.p != t.o) continue;
@@ -220,9 +268,6 @@ class SelectEvaluator {
       ++rows_produced_;
       if (options_.max_intermediate_rows &&
           rows_produced_ > options_.max_intermediate_rows) {
-        table_.timed_out = true;
-      } else if (options_.timeout_ms > 0 && (rows_produced_ & 0xFFF) == 0 &&
-                 timer.ElapsedMs() > options_.timeout_ms) {
         table_.timed_out = true;
       }
       if (table_.timed_out) break;
@@ -308,6 +353,10 @@ class SelectEvaluator {
   const EncodedBgp& bgp_;
   const std::vector<uint32_t>& order_;
   const ExecOptions& options_;
+  obs::ExecTrace* trace_;
+  uint64_t probes_ = 0;
+  uint64_t scanned_ = 0;
+  uint32_t timeout_ticks_ = 0;
 
   std::vector<TermId> bindings_;
   std::vector<sparql::VarId> projection_;

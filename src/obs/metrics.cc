@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace shapestats::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value >= 1)) return 0;  // negatives / NaN land in bucket 0
+  int exp = static_cast<int>(std::floor(std::log2(value)));
+  size_t idx = static_cast<size_t>(exp) + 1;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::BucketLow(size_t i) {
+  if (i == 0) return 0;
+  return std::ldexp(1.0, static_cast<int>(i) - 1);  // 2^(i-1)
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (data_.count == 0) {
+    data_.min = value;
+    data_.max = value;
+  } else {
+    data_.min = std::min(data_.min, value);
+    data_.max = std::max(data_.max, value);
+  }
+  ++data_.count;
+  data_.sum += value;
+  ++data_.buckets[BucketIndex(value)];
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = Snapshot{};
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c.get();
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return counters_.back().second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return h.get();
+  }
+  histograms_.emplace_back(name, std::make_unique<Histogram>());
+  return histograms_.back().second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snap() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.counters.reserve(counters_.size());
+    for (const auto& [n, c] : counters_) {
+      snap.counters.push_back({n, c->value()});
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [n, h] : histograms_) {
+      snap.histograms.push_back({n, h->Snap()});
+    }
+  }
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) c->Reset();
+  for (auto& [n, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":[";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"name\":\"" + JsonEscape(counters[i].name) +
+           "\",\"value\":" + std::to_string(counters[i].value) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    if (i) out += ",";
+    out += "{\"name\":\"" + JsonEscape(h.name) +
+           "\",\"count\":" + std::to_string(h.snap.count) +
+           ",\"sum\":" + FmtDouble(h.snap.sum) +
+           ",\"min\":" + FmtDouble(h.snap.min) +
+           ",\"max\":" + FmtDouble(h.snap.max) + ",\"buckets\":[";
+    bool first = true;
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h.snap.buckets[b] == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "{\"lo\":" + FmtDouble(Histogram::BucketLow(b)) +
+             ",\"count\":" + std::to_string(h.snap.buckets[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  if (!counters.empty()) {
+    TablePrinter printer({"counter", "value"});
+    for (const auto& c : counters) {
+      printer.AddRow({c.name, WithCommas(c.value)});
+    }
+    out += printer.Render();
+  }
+  if (!histograms.empty()) {
+    TablePrinter printer({"histogram", "count", "mean", "min", "max"});
+    for (const auto& h : histograms) {
+      printer.AddRow({h.name, WithCommas(h.snap.count), FmtDouble(h.snap.Mean()),
+                      FmtDouble(h.snap.min), FmtDouble(h.snap.max)});
+    }
+    out += printer.Render();
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace shapestats::obs

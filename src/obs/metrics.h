@@ -1,0 +1,118 @@
+// Lightweight, zero-dependency metrics layer: named monotonic counters and
+// log-scale histograms collected in a thread-safe registry. Hot paths hold a
+// `Counter*` (one relaxed atomic add per event); registries are snapshotted
+// for reporting and export as JSON or an aligned text table. A process-wide
+// registry (`MetricsRegistry::Global()`) aggregates across all engines so
+// shells, tools and benchmarks can observe the whole process.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace shapestats::obs {
+
+/// Monotonic event counter. Lock-free; safe to share across threads.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram of non-negative samples.
+/// Bucket 0 covers [0, 1); bucket k (1 <= k < 63) covers [2^(k-1), 2^k);
+/// bucket 63 is the overflow bucket. Observe() takes a mutex — intended for
+/// per-query observations (latencies, cardinalities), not per-row events.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Observe(double value);
+  void Reset();
+
+  /// Index of the bucket a value falls into.
+  static size_t BucketIndex(double value);
+  /// Inclusive lower bound of bucket `i` (0 for bucket 0).
+  static double BucketLow(size_t i);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;  // 0 when count == 0
+    double max = 0;
+    std::array<uint64_t, kNumBuckets> buckets{};
+    double Mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  };
+  Snapshot Snap() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot data_;
+};
+
+/// Point-in-time view of a whole registry.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    Histogram::Snapshot snap;
+  };
+  std::vector<CounterEntry> counters;      // sorted by name
+  std::vector<HistogramEntry> histograms;  // sorted by name
+
+  /// Machine-readable export:
+  /// {"counters":[{"name":..,"value":..}],
+  ///  "histograms":[{"name":..,"count":..,"sum":..,"min":..,"max":..,
+  ///                 "buckets":[{"lo":..,"count":..}]}]}
+  std::string ToJson() const;
+  /// Human-readable aligned table (counters then histogram summaries).
+  std::string ToText() const;
+};
+
+/// Thread-safe name -> instrument registry. Returned pointers are stable for
+/// the registry's lifetime, so callers resolve once and increment lock-free.
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named counter / histogram.
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Convenience one-shot forms (one map lookup per call).
+  void Add(const std::string& name, uint64_t delta = 1) { GetCounter(name)->Add(delta); }
+  void Observe(const std::string& name, double value) {
+    GetHistogram(name)->Observe(value);
+  }
+
+  MetricsSnapshot Snap() const;
+  std::string ToJson() const { return Snap().ToJson(); }
+  std::string ToText() const { return Snap().ToText(); }
+
+  /// Zeroes every instrument (names stay registered; pointers stay valid).
+  void ResetAll();
+
+  /// Process-wide registry used by the engine's built-in instrumentation.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  // Parallel name/instrument vectors kept sorted on snapshot, not insert:
+  // entries are append-only so raw pointers remain stable.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace shapestats::obs

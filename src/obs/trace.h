@@ -1,0 +1,104 @@
+// Per-query tracing: phase spans (parse -> encode -> plan -> estimate ->
+// execute), planner decision counters, executor probe/scan counters, and
+// per-join-step records comparing estimated against true cardinalities —
+// the q-error evidence of the paper's evaluation (Fig. 4c/4d, Table 2),
+// collected for a single query instead of a whole benchmark. Depends only
+// on util so every layer (card, opt, exec, engine) can emit into it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace shapestats::obs {
+
+/// One timed phase of the query lifecycle.
+struct PhaseSpan {
+  std::string name;
+  double ms = 0;
+};
+
+/// Planner decision counters (Algorithm 1 instrumentation).
+struct PlannerTrace {
+  /// Candidate patterns examined across all greedy iterations.
+  uint64_t candidates_considered = 0;
+  /// Pairwise join estimates evaluated (provider EstimateJoin calls).
+  uint64_t join_estimates = 0;
+  /// Steps where no candidate joined and a Cartesian product was emitted.
+  uint64_t cartesian_steps = 0;
+};
+
+/// Executor work counters, attached via exec::ExecOptions::trace. Per-step
+/// vectors are indexed by plan step (position in the join order).
+struct ExecTrace {
+  std::vector<uint64_t> step_probes;        // index lookups per step
+  std::vector<uint64_t> step_rows_scanned;  // triples iterated per step
+  uint64_t total_probes = 0;
+  uint64_t total_rows_scanned = 0;
+};
+
+/// One join step of an analyzed plan: the estimate that ordered it, the
+/// ground truth the executor measured, and the work it cost.
+struct StepTrace {
+  uint32_t step = 0;         // 1-based position in the join order
+  uint32_t pattern = 0;      // index into the BGP's patterns
+  std::string pattern_text;  // pretty-printed triple pattern
+  std::string source;        // statistics source: "shape" | "global" | "textual"
+  std::string formula;       // Table-1 case that produced the TP estimate
+  double tp_est = 0;         // per-pattern estimated cardinality
+  double est_card = 0;       // estimated cardinality after this join step
+  uint64_t true_card = 0;    // executor-measured cardinality (step_cards)
+  double q_error = 0;        // QError(est_card, true_card)
+  uint64_t rows_scanned = 0;
+  uint64_t index_probes = 0;
+};
+
+/// Full trace of one query through the engine.
+struct QueryTrace {
+  std::string query;        // original SPARQL text
+  std::string optimizer;    // provider label ("SS", "GS", "textual", ...)
+  std::string query_shape;  // star / snowflake / complex
+  std::vector<PhaseSpan> phases;
+  PlannerTrace planner;
+  ExecTrace exec;
+  std::vector<StepTrace> steps;  // populated by ExplainAnalyze
+  uint64_t num_results = 0;
+  double est_total_cost = 0;   // sum of estimated step cardinalities
+  uint64_t true_total_cost = 0;  // sum of true step cardinalities
+  bool timed_out = false;
+  double total_ms = 0;
+
+  void AddPhase(const std::string& name, double ms) { phases.push_back({name, ms}); }
+  /// Time of a named phase; -1 when the phase was not recorded.
+  double PhaseMs(const std::string& name) const;
+
+  /// Machine-readable trace (schema documented in DESIGN.md §Observability).
+  std::string ToJson() const;
+  /// Human-readable rendering: step table + phase breakdown + totals.
+  std::string ToTable() const;
+};
+
+/// RAII phase timer: records a span on destruction (or explicit Stop()).
+class PhaseTimer {
+ public:
+  PhaseTimer(QueryTrace* trace, std::string name)
+      : trace_(trace), name_(std::move(name)) {}
+  ~PhaseTimer() { Stop(); }
+  void Stop() {
+    if (trace_ != nullptr) trace_->AddPhase(name_, timer_.ElapsedMs());
+    trace_ = nullptr;
+  }
+
+ private:
+  QueryTrace* trace_;
+  std::string name_;
+  Timer timer_;
+};
+
+/// q-error (Section 7): max(max(1,e)/max(1,c), max(1,c)/max(1,e)).
+/// NaN estimates propagate (approaches without a cardinality model).
+double QError(double estimate, double truth);
+
+}  // namespace shapestats::obs

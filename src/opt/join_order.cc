@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "sparql/query_graph.h"
 
 namespace shapestats::opt {
@@ -12,7 +13,13 @@ using card::TpEstimate;
 using sparql::EncodedBgp;
 
 Plan PlanJoinOrder(const EncodedBgp& bgp,
-                   const card::PlannerStatsProvider& provider) {
+                   const card::PlannerStatsProvider& provider,
+                   obs::PlannerTrace* trace) {
+  static obs::Counter* plans_counter =
+      obs::MetricsRegistry::Global().GetCounter("opt.plans");
+  static obs::Counter* cartesian_counter =
+      obs::MetricsRegistry::Global().GetCounter("opt.cartesian_fallbacks");
+  plans_counter->Add();
   Plan plan;
   plan.provider = provider.name();
   const size_t n = bgp.patterns.size();
@@ -50,11 +57,13 @@ Plan PlanJoinOrder(const EncodedBgp& bgp,
     // from misestimated zero counts.
     for (uint32_t b : by_card) {
       if (used[b]) continue;
+      if (trace != nullptr) ++trace->candidates_considered;
       double c = std::numeric_limits<double>::infinity();
       bool joinable = false;
       for (uint32_t a : plan.order) {
         if (!sparql::Joinable(bgp.patterns[a], bgp.patterns[b])) continue;
         joinable = true;
+        if (trace != nullptr) ++trace->join_estimates;
         c = std::min(c, provider.EstimateJoin(bgp.patterns[a], plan.tp_estimates[a],
                                               bgp.patterns[b],
                                               plan.tp_estimates[b]));
@@ -74,7 +83,11 @@ Plan PlanJoinOrder(const EncodedBgp& bgp,
         best_joinable = joinable;
       }
     }
-    if (!best_joinable) plan.has_cartesian = true;
+    if (!best_joinable) {
+      plan.has_cartesian = true;
+      cartesian_counter->Add();
+      if (trace != nullptr) ++trace->cartesian_steps;
+    }
     used[best_b] = true;
     plan.order.push_back(best_b);
     plan.step_estimates.push_back(best_cost);

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "card/provider.h"
+#include "obs/trace.h"
 #include "opt/plan.h"
 #include "sparql/encoded_bgp.h"
 
@@ -19,7 +20,11 @@ namespace shapestats::opt {
 
 /// Computes a join order for `bgp` using `provider`'s estimates.
 /// Complexity O(n^3) in the number of triple patterns, as in the paper.
+/// When `trace` is non-null, records candidate patterns considered, join
+/// estimates evaluated, and Cartesian fallback events; the global metrics
+/// registry counts plans and Cartesian fallbacks either way.
 Plan PlanJoinOrder(const sparql::EncodedBgp& bgp,
-                   const card::PlannerStatsProvider& provider);
+                   const card::PlannerStatsProvider& provider,
+                   obs::PlannerTrace* trace = nullptr);
 
 }  // namespace shapestats::opt

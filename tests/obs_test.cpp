@@ -1,0 +1,375 @@
+// Tests for src/obs (metrics registry, query tracing) and the engine's
+// EXPLAIN ANALYZE surface: counter/histogram semantics, JSON round-trips,
+// golden plan rendering, q-error ground truth against the executor's
+// step_cards, and the probe-based timeout granularity fix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "datagen/lubm.h"
+#include "engine/query_engine.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+#include "workload/queries.h"
+
+namespace shapestats {
+namespace {
+
+// --- minimal JSON field extraction for round-trip checks -------------------
+
+// Value of the first `"key":<number-or-token>` after `anchor` (or from the
+// start). Good enough to round-trip our own flat export in tests.
+std::string JsonField(const std::string& json, const std::string& key,
+                      const std::string& anchor = "") {
+  size_t from = 0;
+  if (!anchor.empty()) {
+    from = json.find(anchor);
+    if (from == std::string::npos) return "";
+  }
+  std::string needle = "\"" + key + "\":";
+  size_t at = json.find(needle, from);
+  if (at == std::string::npos) return "";
+  size_t begin = at + needle.size();
+  size_t end = begin;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != ']') {
+    ++end;
+  }
+  return json.substr(begin, end - begin);
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistry, CountersAccumulateAndSnapshotSorted) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("b.second")->Add(2);
+  reg.GetCounter("a.first")->Add();
+  reg.GetCounter("b.second")->Add(3);
+  // Same name returns the same instrument.
+  EXPECT_EQ(reg.GetCounter("b.second")->value(), 5u);
+
+  obs::MetricsSnapshot snap = reg.Snap();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a.first");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].name, "b.second");
+  EXPECT_EQ(snap.counters[1].value, 5u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsMinMaxMean) {
+  obs::Histogram h;
+  h.Observe(0.5);
+  h.Observe(3);
+  h.Observe(1000);
+  obs::Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 1000);
+  EXPECT_NEAR(s.Mean(), (0.5 + 3 + 1000) / 3, 1e-9);
+  // 0.5 -> bucket 0; 3 -> [2,4) = bucket 2; 1000 -> [512,1024) = bucket 10.
+  EXPECT_EQ(s.buckets[obs::Histogram::BucketIndex(0.5)], 1u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(0.5), 0u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1000), 10u);
+  EXPECT_DOUBLE_EQ(obs::Histogram::BucketLow(10), 512);
+}
+
+TEST(MetricsRegistry, CountersAreThreadSafe) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("contended");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < 10000; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 40000u);
+}
+
+TEST(MetricsRegistry, ToJsonRoundTripsValues) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("queries")->Add(42);
+  reg.GetHistogram("latency_ms")->Observe(4);
+  reg.GetHistogram("latency_ms")->Observe(12);
+  std::string json = reg.ToJson();
+
+  EXPECT_EQ(JsonField(json, "value", "\"queries\""), "42");
+  EXPECT_EQ(JsonField(json, "count", "\"latency_ms\""), "2");
+  EXPECT_EQ(std::stod(JsonField(json, "sum", "\"latency_ms\"")), 16.0);
+  EXPECT_EQ(std::stod(JsonField(json, "min", "\"latency_ms\"")), 4.0);
+  EXPECT_EQ(std::stod(JsonField(json, "max", "\"latency_ms\"")), 12.0);
+  // 4 lands in [4,8) (lo 4), 12 in [8,16) (lo 8).
+  EXPECT_NE(json.find("{\"lo\":4,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"lo\":8,\"count\":1}"), std::string::npos);
+
+  reg.ResetAll();
+  std::string after = reg.ToJson();
+  EXPECT_EQ(JsonField(after, "value", "\"queries\""), "0");
+  EXPECT_EQ(JsonField(after, "count", "\"latency_ms\""), "0");
+}
+
+TEST(MetricsRegistry, ToTextListsInstruments) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("exec.probes")->Add(7);
+  reg.GetHistogram("ms")->Observe(1);
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("exec.probes"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("ms"), std::string::npos);
+}
+
+TEST(QErrorTest, MatchesPaperDefinition) {
+  EXPECT_DOUBLE_EQ(obs::QError(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(obs::QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(obs::QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(obs::QError(0, 0), 1.0);  // both clamped to 1
+  EXPECT_TRUE(std::isnan(obs::QError(std::nan(""), 5)));
+}
+
+// --- tiny hand-built graph fixture ----------------------------------------
+
+constexpr const char* kTinyData = R"(
+@prefix ex: <http://ex/> .
+ex:s1 a ex:Student ; ex:takes ex:c1, ex:c2 ; ex:advisor ex:p1 .
+ex:s2 a ex:Student ; ex:takes ex:c1 ; ex:advisor ex:p1 .
+ex:s3 a ex:Student ; ex:takes ex:c2 ; ex:advisor ex:p2 .
+ex:p1 a ex:Prof ; ex:teaches ex:c1 .
+ex:p2 a ex:Prof ; ex:teaches ex:c2 .
+)";
+
+constexpr const char* kTinyQuery =
+    "PREFIX ex: <http://ex/>\n"
+    "SELECT * WHERE { ?x a ex:Student . ?x ex:advisor ?p . ?p ex:teaches ?c }";
+
+engine::QueryEngine OpenTiny(
+    engine::EngineOptions::Optimizer opt =
+        engine::EngineOptions::Optimizer::kShapeStats) {
+  rdf::Graph graph;
+  EXPECT_TRUE(rdf::ParseTurtle(kTinyData, &graph).ok());
+  graph.Finalize();
+  engine::EngineOptions options;
+  options.optimizer = opt;
+  auto eng = engine::QueryEngine::Open(std::move(graph), options);
+  EXPECT_TRUE(eng.ok()) << eng.status().ToString();
+  return std::move(eng).value();
+}
+
+// --- Explain golden rendering ---------------------------------------------
+
+TEST(Explain, GoldenPlanRendering) {
+  engine::QueryEngine eng =
+      OpenTiny(engine::EngineOptions::Optimizer::kGlobalStats);
+  auto plan = eng.Explain(kTinyQuery);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Deterministic golden string: GS orders the teaches scan (2 triples)
+  // first, then joins advisor, then the Student type pattern.
+  EXPECT_EQ(*plan,
+            "plan (GS optimizer, query shape: snowflake)\n"
+            "  1. ?p <http://ex/teaches> ?c   [tp card ~2, step est ~2]\n"
+            "  2. ?x <http://ex/advisor> ?p   [tp card ~3, step est ~3]\n"
+            "  3. ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+            "<http://ex/Student>   [tp card ~3, step est ~3]\n"
+            "estimated cost: 8\n");
+}
+
+// --- ExplainAnalyze --------------------------------------------------------
+
+TEST(ExplainAnalyze, StepGroundTruthMatchesExecutor) {
+  engine::QueryEngine eng = OpenTiny();
+  auto analyzed = eng.ExplainAnalyze(kTinyQuery);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  const obs::QueryTrace& trace = analyzed->trace;
+
+  ASSERT_EQ(trace.steps.size(), 3u);
+  EXPECT_EQ(trace.optimizer, "SS");
+  EXPECT_EQ(trace.query_shape, "snowflake");
+
+  // Independently execute the same plan to obtain the executor's
+  // step_cards ground truth.
+  auto query = sparql::ParseQuery(kTinyQuery);
+  ASSERT_TRUE(query.ok());
+  auto bgp = sparql::EncodeBgp(*query, eng.graph().dict());
+  std::vector<uint32_t> order;
+  for (const obs::StepTrace& s : trace.steps) order.push_back(s.pattern);
+  auto truth = exec::ExecuteBgp(eng.graph(), bgp, order);
+  ASSERT_TRUE(truth.ok());
+
+  uint64_t total_true = 0;
+  for (size_t k = 0; k < trace.steps.size(); ++k) {
+    const obs::StepTrace& s = trace.steps[k];
+    EXPECT_EQ(s.step, k + 1);
+    EXPECT_EQ(s.true_card, truth->step_cards[k]) << "step " << k;
+    EXPECT_DOUBLE_EQ(
+        s.q_error, obs::QError(s.est_card, static_cast<double>(s.true_card)));
+    EXPECT_GE(s.q_error, 1.0);
+    EXPECT_FALSE(s.pattern_text.empty());
+    EXPECT_GT(s.index_probes, 0u);
+    total_true += s.true_card;
+  }
+  EXPECT_EQ(trace.true_total_cost, total_true);
+  EXPECT_EQ(trace.true_total_cost, truth->TrueCost());
+  EXPECT_EQ(trace.num_results, truth->num_results);
+  EXPECT_EQ(trace.num_results, 3u);  // s1/p1, s2/p1, s3/p2
+
+  // The type pattern must be answered by shape statistics in SS mode.
+  bool saw_shape = false;
+  for (const obs::StepTrace& s : trace.steps) {
+    if (s.source == "shape") saw_shape = true;
+  }
+  EXPECT_TRUE(saw_shape);
+}
+
+TEST(ExplainAnalyze, PhaseSpansPopulatedAndNonNegative) {
+  engine::QueryEngine eng = OpenTiny();
+  auto analyzed = eng.ExplainAnalyze(kTinyQuery);
+  ASSERT_TRUE(analyzed.ok());
+  const obs::QueryTrace& trace = analyzed->trace;
+  for (const char* name : {"parse", "encode", "plan", "estimate", "execute"}) {
+    double ms = trace.PhaseMs(name);
+    EXPECT_GE(ms, 0.0) << "phase " << name << " missing or negative";
+  }
+  EXPECT_EQ(trace.phases.size(), 5u);
+  EXPECT_GE(trace.total_ms, 0.0);
+}
+
+TEST(ExplainAnalyze, RendersTableAndJson) {
+  engine::QueryEngine eng = OpenTiny();
+  auto analyzed = eng.ExplainAnalyze(kTinyQuery);
+  ASSERT_TRUE(analyzed.ok());
+  EXPECT_NE(analyzed->text.find("q-error"), std::string::npos);
+  EXPECT_NE(analyzed->text.find("true card"), std::string::npos);
+  EXPECT_NE(analyzed->text.find("phases:"), std::string::npos);
+
+  const std::string& json = analyzed->json;
+  EXPECT_EQ(json, analyzed->trace.ToJson());
+  EXPECT_EQ(JsonField(json, "num_results", "\"totals\""), "3");
+  EXPECT_EQ(std::stoull(JsonField(json, "true_cost", "\"totals\"")),
+            analyzed->trace.true_total_cost);
+  EXPECT_EQ(JsonField(json, "timed_out", "\"totals\""), "false");
+  EXPECT_NE(json.find("\"optimizer\":\"SS\""), std::string::npos);
+  EXPECT_NE(json.find("\"phases\":["), std::string::npos);
+  EXPECT_NE(json.find("\"steps\":["), std::string::npos);
+}
+
+TEST(ExplainAnalyze, LubmExampleQueryReportsGroundTruth) {
+  datagen::LubmOptions opts;
+  opts.universities = 1;
+  auto eng = engine::QueryEngine::Open(datagen::GenerateLubm(opts));
+  ASSERT_TRUE(eng.ok());
+  const std::string& text = workload::LubmExampleQuery();
+  auto analyzed = eng->ExplainAnalyze(text);
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  const obs::QueryTrace& trace = analyzed->trace;
+  ASSERT_FALSE(trace.steps.empty());
+
+  // Replay the traced order on the raw executor: true cards must agree.
+  auto query = sparql::ParseQuery(text);
+  ASSERT_TRUE(query.ok());
+  auto bgp = sparql::EncodeBgp(*query, eng->graph().dict());
+  std::vector<uint32_t> order;
+  for (const obs::StepTrace& s : trace.steps) order.push_back(s.pattern);
+  auto truth = exec::ExecuteBgp(eng->graph(), bgp, order);
+  ASSERT_TRUE(truth.ok());
+  for (size_t k = 0; k < trace.steps.size(); ++k) {
+    EXPECT_EQ(trace.steps[k].true_card, truth->step_cards[k]) << "step " << k;
+    EXPECT_DOUBLE_EQ(trace.steps[k].q_error,
+                     obs::QError(trace.steps[k].est_card,
+                                 static_cast<double>(truth->step_cards[k])));
+  }
+  EXPECT_EQ(trace.num_results, truth->num_results);
+  EXPECT_GT(trace.exec.total_probes, 0u);
+  EXPECT_GT(trace.exec.total_rows_scanned, 0u);
+}
+
+// --- executor instrumentation ---------------------------------------------
+
+TEST(ExecTrace, PerStepProbesAndScansSumToTotals) {
+  rdf::Graph graph;
+  ASSERT_TRUE(rdf::ParseTurtle(kTinyData, &graph).ok());
+  graph.Finalize();
+  auto query = sparql::ParseQuery(kTinyQuery);
+  ASSERT_TRUE(query.ok());
+  auto bgp = sparql::EncodeBgp(*query, graph.dict());
+
+  obs::ExecTrace trace;
+  exec::ExecOptions options;
+  options.trace = &trace;
+  auto r = exec::ExecuteBgp(graph, bgp, options);
+  ASSERT_TRUE(r.ok());
+
+  ASSERT_EQ(trace.step_probes.size(), 3u);
+  ASSERT_EQ(trace.step_rows_scanned.size(), 3u);
+  EXPECT_EQ(trace.step_probes[0], 1u);  // one opening scan
+  uint64_t probes = 0, scanned = 0;
+  for (size_t k = 0; k < 3; ++k) {
+    probes += trace.step_probes[k];
+    scanned += trace.step_rows_scanned[k];
+  }
+  EXPECT_EQ(probes, trace.total_probes);
+  EXPECT_EQ(scanned, trace.total_rows_scanned);
+  EXPECT_GT(trace.total_rows_scanned, 0u);
+  // Scans at least cover the produced intermediate rows.
+  EXPECT_GE(trace.total_rows_scanned, r->TrueCost());
+}
+
+TEST(ExecTimeout, FiresOnProbeWorkWithoutProducedRows) {
+  // 3000 subjects each with one ex:p triple; objects never appear as
+  // subjects, so <?x ex:p ?y . ?y ex:p ?z> scans/probes thousands of times
+  // while producing < 4096 depth-0 rows and zero results. The old
+  // rows-produced-only check (every 4096 rows) never fired here.
+  rdf::Graph graph;
+  for (int i = 0; i < 3000; ++i) {
+    graph.Add(rdf::Term::Iri("http://ex/s" + std::to_string(i)),
+              rdf::Term::Iri("http://ex/p"),
+              rdf::Term::Iri("http://ex/o" + std::to_string(i)));
+  }
+  graph.Finalize();
+  auto query = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x ex:p ?y . ?y ex:p ?z }");
+  ASSERT_TRUE(query.ok());
+  auto bgp = sparql::EncodeBgp(*query, graph.dict());
+
+  exec::ExecOptions options;
+  options.timeout_ms = 1e-6;  // expires immediately; granularity is the test
+  auto r = exec::ExecuteBgp(graph, bgp, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->timed_out);
+  EXPECT_EQ(r->num_results, 0u);
+}
+
+TEST(GlobalMetrics, EngineQueryIncrementsCounters) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  uint64_t queries_before = reg.GetCounter("engine.queries")->value();
+  uint64_t plans_before = reg.GetCounter("opt.plans")->value();
+  uint64_t runs_before = reg.GetCounter("exec.select_runs")->value();
+
+  engine::QueryEngine eng = OpenTiny();
+  auto result = eng.Execute(kTinyQuery);
+  ASSERT_TRUE(result.ok());
+
+  EXPECT_EQ(reg.GetCounter("engine.queries")->value(), queries_before + 1);
+  EXPECT_GT(reg.GetCounter("opt.plans")->value(), plans_before);
+  EXPECT_EQ(reg.GetCounter("exec.select_runs")->value(), runs_before + 1);
+}
+
+TEST(ExecuteTrace, ThreadedThroughSelectPath) {
+  engine::QueryEngine eng = OpenTiny();
+  obs::QueryTrace trace;
+  auto result = eng.Execute(kTinyQuery, &trace);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(trace.optimizer, "SS");
+  for (const char* name : {"parse", "encode", "plan", "execute"}) {
+    EXPECT_GE(trace.PhaseMs(name), 0.0) << "phase " << name;
+  }
+  EXPECT_EQ(trace.num_results, result->table.rows.size());
+  EXPECT_GT(trace.exec.total_probes, 0u);
+  EXPECT_GT(trace.planner.candidates_considered, 0u);
+}
+
+}  // namespace
+}  // namespace shapestats
