@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "analysis/stats_audit.h"
 #include "datagen/lubm.h"
 #include "datagen/watdiv.h"
 #include "datagen/yago.h"
@@ -39,6 +40,17 @@ void Prepare(Dataset* ds) {
   auto report = stats::AnnotateShapes(ds->graph, &ds->shapes);
   ds->annotate_ms = report->elapsed_ms;
   ds->shapes_extended_bytes = shacl::WriteShapesTurtle(ds->shapes).size();
+
+  // Fail fast on corrupt statistics: every estimate and plan downstream
+  // depends on these invariants, so a benchmark run over a dataset that
+  // fails the audit would measure garbage.
+  auto audit = analysis::StatsAuditor().AuditAll(ds->gs, ds->shapes,
+                                                 &ds->graph.dict());
+  if (analysis::HasErrors(audit)) {
+    std::fprintf(stderr, "statistics audit failed for %s:\n%s",
+                 ds->name.c_str(), analysis::ToText(audit).c_str());
+    std::abort();
+  }
 
   auto cs = baselines::CharSetIndex::Build(ds->graph);
   ds->cs = std::make_unique<baselines::CharSetIndex>(std::move(cs).value());

@@ -56,7 +56,10 @@ int main(int argc, char** argv) {
 
     std::string order;
     for (size_t i = 0; i < plan.order.size(); ++i) {
-      order += (i ? " " : "") + std::to_string(plan.order[i] + 1);
+      // Appended piecewise: gcc 12's -Wrestrict false-fires on
+      // operator+(const char*, std::string&&) under -O2.
+      if (i) order += ' ';
+      order += std::to_string(plan.order[i] + 1);
     }
     table.AddRow({bench::ApproachName(a), order,
                   provider ? WithCommas(static_cast<uint64_t>(plan.total_cost))

@@ -13,6 +13,9 @@
 //   .explain <query>     show the optimized plan without executing
 //   .analyze <query>     EXPLAIN ANALYZE: execute and show per-step
 //                        estimated vs true cardinality, q-error, timings
+//   .lint <query>        static analysis only: unknown predicates/classes,
+//                        guaranteed-empty patterns, forced Cartesian products
+//   .audit               audit global + shape statistics consistency
 //   .metrics             dump the process-wide metrics registry
 //   .quit                exit
 //   anything else        executed as a SPARQL query (may span lines;
@@ -21,6 +24,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/stats_audit.h"
 #include "datagen/lubm.h"
 #include "engine/query_engine.h"
 #include "obs/metrics.h"
@@ -121,9 +125,28 @@ int main(int argc, char** argv) {
     if (trimmed == ".help") {
       std::printf(
           ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
-          ".metrics | .quit\n");
+          ".lint <query> | .audit | .metrics | .quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
+    } else if (trimmed == ".audit") {
+      auto diags = analysis::StatsAuditor().AuditAll(
+          eng.global_stats(), eng.shapes(), &eng.graph().dict());
+      if (diags.empty()) {
+        std::printf("statistics audit clean (global + %zu node shapes)\n",
+                    eng.shapes().NumNodeShapes());
+      } else {
+        std::fputs(analysis::ToText(diags).c_str(), stdout);
+      }
+    } else if (StartsWith(trimmed, ".lint")) {
+      std::string text = ReadQuery(trimmed.substr(5));
+      auto diags = eng.Lint(text);
+      if (!diags.ok()) {
+        std::printf("error: %s\n", diags.status().ToString().c_str());
+      } else if (diags->empty()) {
+        std::printf("no findings\n");
+      } else {
+        std::fputs(analysis::ToText(*diags).c_str(), stdout);
+      }
     } else if (trimmed == ".metrics") {
       std::fputs(obs::MetricsRegistry::Global().ToText().c_str(), stdout);
     } else if (StartsWith(trimmed, ".shapes")) {
@@ -146,6 +169,12 @@ int main(int argc, char** argv) {
       }
     } else {
       std::string text = ReadQuery(line);
+      // Surface static-analysis warnings (guaranteed-empty patterns,
+      // forced Cartesian products) before the results they explain.
+      auto lint = eng.Lint(text);
+      if (lint.ok() && !lint->empty()) {
+        std::fputs(analysis::ToText(*lint).c_str(), stdout);
+      }
       auto result = eng.Execute(text);
       if (result.ok()) {
         if (result->ask) {

@@ -1,0 +1,158 @@
+// stats_lint: static invariant analysis for the statistics artifacts that
+// drive shape-statistics query optimization, plus optional query linting.
+//
+// Checks (see src/analysis/stats_audit.h for the rule catalog):
+//   * global extended-VoID statistics: DSC/DOC <= count, per-predicate
+//     counts contained in and summing to the dataset triple count,
+//     rdf:type aggregates consistent;
+//   * annotated SHACL shapes: distinctCount <= count, minCount/maxCount
+//     bounds vs the node count, node/property counts contained in the
+//     global statistics;
+//   * optionally, a SPARQL query: unknown predicates/classes,
+//     guaranteed-empty patterns, forced Cartesian products.
+//
+// Usage:
+//   stats_lint [--json] [--query <sparql>] [data.nt [shapes.ttl]]
+//
+// With no data file a demo LUBM dataset is generated. Without shapes.ttl
+// the shapes are generated from the data and annotated (so the audit sees
+// the same artifacts the query engine would build). Exit status: 0 clean,
+// 1 if any error-severity diagnostic fired, 2 on usage/load failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/query_lint.h"
+#include "analysis/stats_audit.h"
+#include "datagen/lubm.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "shacl/generator.h"
+#include "shacl/shapes_io.h"
+#include "sparql/encoded_bgp.h"
+#include "sparql/parser.h"
+#include "stats/annotator.h"
+#include "stats/global_stats.h"
+
+using namespace shapestats;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--query <sparql>] [data.nt [shapes.ttl]]\n",
+               argv0);
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string query_text;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      query_text = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() > 2) return Usage(argv[0]);
+
+  // Load or generate the data graph.
+  rdf::Graph graph;
+  if (!positional.empty()) {
+    Status st = rdf::LoadNTriplesFile(positional[0], &graph);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", positional[0].c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    graph.Finalize();
+  } else {
+    std::fprintf(stderr, "no data file given; generating a demo LUBM dataset\n");
+    datagen::LubmOptions opts;
+    opts.universities = 1;
+    graph = datagen::GenerateLubm(opts);
+  }
+  stats::GlobalStats gs = stats::GlobalStats::Compute(graph);
+
+  // Load shapes from a file, or generate + annotate them from the data.
+  shacl::ShapesGraph shapes;
+  if (positional.size() == 2) {
+    auto text = ReadFile(positional[1]);
+    if (!text.ok()) {
+      std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+      return 2;
+    }
+    auto parsed = shacl::ReadShapesTurtle(*text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "failed to parse %s: %s\n", positional[1].c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    shapes = std::move(parsed).value();
+  } else {
+    auto generated = shacl::GenerateShapes(graph);
+    if (generated.ok()) {
+      shapes = std::move(generated).value();
+      auto report = stats::AnnotateShapes(graph, &shapes);
+      if (!report.ok()) {
+        std::fprintf(stderr, "annotation failed: %s\n",
+                     report.status().ToString().c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "shape generation skipped: %s\n",
+                   generated.status().ToString().c_str());
+    }
+  }
+
+  analysis::Diagnostics diags =
+      analysis::StatsAuditor().AuditAll(gs, shapes, &graph.dict());
+
+  if (!query_text.empty()) {
+    auto query = sparql::ParseQuery(query_text);
+    if (!query.ok()) {
+      std::fprintf(stderr, "query parse error: %s\n",
+                   query.status().ToString().c_str());
+      return 2;
+    }
+    sparql::EncodedBgp bgp = sparql::EncodeBgp(*query, graph.dict());
+    analysis::Diagnostics lint = analysis::QueryLint(gs, graph.dict()).Lint(bgp);
+    diags.insert(diags.end(), lint.begin(), lint.end());
+  }
+
+  if (json) {
+    std::printf("%s\n", analysis::ToJson(diags).c_str());
+  } else if (diags.empty()) {
+    std::printf("clean: %zu node shapes, %zu property shapes, %zu predicates "
+                "audited, 0 findings\n",
+                shapes.NumNodeShapes(), shapes.NumPropertyShapes(),
+                gs.by_predicate.size());
+  } else {
+    std::fputs(analysis::ToText(diags).c_str(), stdout);
+    std::printf("%zu error(s), %zu warning(s)\n",
+                analysis::CountSeverity(diags, analysis::Severity::kError),
+                analysis::CountSeverity(diags, analysis::Severity::kWarning));
+  }
+  return analysis::HasErrors(diags) ? 1 : 0;
+}

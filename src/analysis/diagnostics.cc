@@ -1,0 +1,60 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace shapestats::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+bool HasErrors(const Diagnostics& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+size_t CountSeverity(const Diagnostics& diags, Severity severity) {
+  return static_cast<size_t>(
+      std::count_if(diags.begin(), diags.end(), [severity](const Diagnostic& d) {
+        return d.severity == severity;
+      }));
+}
+
+size_t CountRule(const Diagnostics& diags, const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string ToText(const Diagnostics& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += SeverityName(d.severity);
+    out += " [" + d.rule + "] " + d.subject + ": " + d.detail + "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const Diagnostics& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i) out += ",";
+    out += std::string("{\"severity\":\"") + SeverityName(d.severity) +
+           "\",\"rule\":\"" + obs::JsonEscape(d.rule) + "\",\"subject\":\"" +
+           obs::JsonEscape(d.subject) + "\",\"detail\":\"" +
+           obs::JsonEscape(d.detail) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace shapestats::analysis

@@ -1,0 +1,47 @@
+// Structured findings shared by the static-analysis passes (StatsAuditor,
+// PlanVerifier, QueryLint). A Diagnostic names the invariant rule that
+// fired, the entity it fired on, and a human-readable detail string; tools
+// render a batch as text (one line each) or JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shapestats::analysis {
+
+/// How bad a finding is. kError means a statistic or plan is provably
+/// inconsistent (plans built from it cannot be trusted); kWarning flags
+/// suspicious-but-legal input (e.g. a query that can only return nothing);
+/// kInfo is advisory.
+enum class Severity : uint8_t { kInfo = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityName(Severity severity);
+
+/// One finding of a static-analysis pass.
+struct Diagnostic {
+  Severity severity = Severity::kInfo;
+  std::string rule;     // stable rule id, e.g. "shape.distinct-gt-count"
+  std::string subject;  // entity the rule fired on (class IRI, predicate, step)
+  std::string detail;   // explanation including the offending numbers
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// True if any diagnostic has error severity.
+bool HasErrors(const Diagnostics& diags);
+
+/// Number of diagnostics at exactly the given severity.
+size_t CountSeverity(const Diagnostics& diags, Severity severity);
+
+/// Number of diagnostics that fired a given rule.
+size_t CountRule(const Diagnostics& diags, const std::string& rule);
+
+/// "severity [rule] subject: detail" — one line per diagnostic.
+std::string ToText(const Diagnostics& diags);
+
+/// JSON array:
+/// [{"severity":"error","rule":"...","subject":"...","detail":"..."}]
+std::string ToJson(const Diagnostics& diags);
+
+}  // namespace shapestats::analysis

@@ -1,0 +1,34 @@
+// PlanVerifier: structural validation of opt::Plan against the BGP it was
+// built for. The greedy planner (Algorithm 1) must emit a permutation of
+// the patterns in which every non-first step joins with the prefix (unless
+// the plan is flagged Cartesian), with finite non-negative estimates whose
+// sum is the reported total cost (Problem 2). Violations mean a planner or
+// estimator bug, so the verifier runs on every plan in the engine (see
+// EngineOptions::verify_plans), in EXPLAIN / EXPLAIN ANALYZE, and across
+// the randomized property tests.
+//
+// Rule catalog (all severity error):
+//   plan.order-size            order length != number of BGP patterns
+//   plan.order-not-permutation duplicate or out-of-range pattern index
+//   plan.sizes-mismatch        step/tp estimate vectors inconsistent with order
+//   plan.disconnected-step     step shares no variable with the prefix while
+//                              the plan is not flagged has_cartesian
+//   plan.nonfinite-estimate    negative, NaN or infinite estimate
+//   plan.cost-mismatch         total_cost != sum of step estimates
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "opt/plan.h"
+#include "sparql/encoded_bgp.h"
+
+namespace shapestats::analysis {
+
+class PlanVerifier {
+ public:
+  /// Verifies `plan` against `bgp`; returns one diagnostic per violation
+  /// (empty when the plan is well-formed). Publishes
+  /// analysis.plan_verifications / analysis.plan_violations counters.
+  Diagnostics Verify(const opt::Plan& plan, const sparql::EncodedBgp& bgp) const;
+};
+
+}  // namespace shapestats::analysis

@@ -1,0 +1,88 @@
+#include "analysis/query_lint.h"
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sparql/query_graph.h"
+
+namespace shapestats::analysis {
+
+namespace {
+
+std::string PatternSubject(size_t index) {
+  return "pattern " + std::to_string(index + 1);
+}
+
+}  // namespace
+
+Diagnostics QueryLint::Lint(const sparql::EncodedBgp& bgp) const {
+  static obs::Counter* lint_warnings =
+      obs::MetricsRegistry::Global().GetCounter("analysis.lint_warnings");
+  Diagnostics out;
+
+  for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+    const sparql::EncodedPattern& tp = bgp.patterns[i];
+    if (tp.HasMissingConstant()) {
+      out.push_back({Severity::kWarning, "query.missing-constant",
+                     PatternSubject(i),
+                     "a constant does not occur in the dataset; the pattern "
+                     "matches nothing and the query returns no results"});
+      continue;  // downstream rules would only restate the same emptiness
+    }
+    if (tp.p.is_bound()) {
+      const bool is_type = gs_.rdf_type_id != rdf::kInvalidTermId &&
+                           tp.p.id == gs_.rdf_type_id;
+      if (!is_type && gs_.Predicate(tp.p.id) == nullptr) {
+        out.push_back({Severity::kWarning, "query.unknown-predicate",
+                       PatternSubject(i),
+                       "predicate " + dict_.Pretty(tp.p.id) +
+                           " occurs in no triple; the pattern matches nothing"});
+      }
+      if (is_type && tp.o.is_bound() && gs_.ClassCount(tp.o.id) == 0) {
+        out.push_back({Severity::kWarning, "query.unknown-class",
+                       PatternSubject(i),
+                       "class " + dict_.Pretty(tp.o.id) +
+                           " has no instances; the pattern matches nothing"});
+      }
+    }
+  }
+
+  // Connected components of the join graph (patterns as nodes, shared
+  // variables as edges): more than one component forces Cartesian products
+  // regardless of the join order the planner picks.
+  const size_t n = bgp.patterns.size();
+  if (n > 1) {
+    std::vector<size_t> parent(n);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        if (sparql::Joinable(bgp.patterns[a], bgp.patterns[b])) {
+          parent[find(a)] = find(b);
+        }
+      }
+    }
+    size_t components = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (find(i) == i) ++components;
+    }
+    if (components > 1) {
+      out.push_back({Severity::kWarning, "query.cartesian", "query",
+                     "the BGP has " + std::to_string(components) +
+                         " disconnected components; every plan needs " +
+                         std::to_string(components - 1) +
+                         " Cartesian product(s)"});
+    }
+  }
+
+  if (!out.empty()) lint_warnings->Add(out.size());
+  return out;
+}
+
+}  // namespace shapestats::analysis

@@ -1,0 +1,36 @@
+// QueryLint: static checks over a parsed-and-encoded BGP against the
+// dataset's dictionary and global statistics, before any planning happens.
+// Surfaced as warnings in sparql_shell, through QueryEngine::Lint, and by
+// the stats_lint tool. Lint findings never block execution — a query that
+// can only return the empty answer is still a valid query.
+//
+// Rule catalog (all severity warning):
+//   query.missing-constant   a constant does not occur in the dataset, so the
+//                            pattern (and the whole BGP) matches nothing
+//   query.unknown-predicate  bound predicate with no triples in the dataset
+//   query.unknown-class      rdf:type object names a class with no instances
+//   query.cartesian          the BGP's join graph is disconnected, forcing at
+//                            least one Cartesian product
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "rdf/dictionary.h"
+#include "sparql/encoded_bgp.h"
+#include "stats/global_stats.h"
+
+namespace shapestats::analysis {
+
+class QueryLint {
+ public:
+  QueryLint(const stats::GlobalStats& gs, const rdf::TermDictionary& dict)
+      : gs_(gs), dict_(dict) {}
+
+  /// Lints the encoded BGP; publishes the analysis.lint_warnings counter.
+  Diagnostics Lint(const sparql::EncodedBgp& bgp) const;
+
+ private:
+  const stats::GlobalStats& gs_;
+  const rdf::TermDictionary& dict_;
+};
+
+}  // namespace shapestats::analysis

@@ -1,0 +1,156 @@
+#include "analysis/stats_audit.h"
+
+#include <iterator>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace shapestats::analysis {
+
+namespace {
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+void AddError(Diagnostics* out, std::string rule, std::string subject,
+              std::string detail) {
+  out->push_back({Severity::kError, std::move(rule), std::move(subject),
+                  std::move(detail)});
+}
+
+}  // namespace
+
+Diagnostics StatsAuditor::AuditGlobal(const stats::GlobalStats& gs,
+                                      const rdf::TermDictionary* dict) const {
+  Diagnostics out;
+  uint64_t pred_sum = 0;
+  for (const auto& [pred_id, ps] : gs.by_predicate) {
+    std::string subject =
+        dict != nullptr ? dict->Pretty(pred_id) : "predicate#" + U64(pred_id);
+    pred_sum += ps.count;
+    if (ps.dsc > ps.count) {
+      AddError(&out, "global.dsc-gt-count", subject,
+               "distinctSubjects " + U64(ps.dsc) + " exceeds triples " +
+                   U64(ps.count));
+    }
+    if (ps.doc > ps.count) {
+      AddError(&out, "global.doc-gt-count", subject,
+               "distinctObjects " + U64(ps.doc) + " exceeds triples " +
+                   U64(ps.count));
+    }
+    if (ps.count > gs.num_triples) {
+      AddError(&out, "global.pred-count-gt-triples", subject,
+               "predicate triples " + U64(ps.count) +
+                   " exceed dataset triples " + U64(gs.num_triples));
+    }
+  }
+  if (!gs.by_predicate.empty() && pred_sum != gs.num_triples) {
+    AddError(&out, "global.pred-count-sum", "dataset",
+             "per-predicate triple counts sum to " + U64(pred_sum) +
+                 " but the dataset has " + U64(gs.num_triples) + " triples");
+  }
+  if (gs.num_type_subjects > gs.num_type_triples ||
+      gs.num_distinct_classes > gs.num_type_triples) {
+    AddError(&out, "global.type-inconsistent", "rdf:type",
+             "typed subjects " + U64(gs.num_type_subjects) +
+                 " / distinct classes " + U64(gs.num_distinct_classes) +
+                 " exceed type triples " + U64(gs.num_type_triples));
+  }
+  return out;
+}
+
+Diagnostics StatsAuditor::AuditShapes(const shacl::ShapesGraph& shapes,
+                                      const stats::GlobalStats& gs,
+                                      const rdf::TermDictionary* dict) const {
+  Diagnostics out;
+  for (const shacl::NodeShape& ns : shapes.shapes()) {
+    if (!ns.annotated()) {
+      out.push_back({Severity::kWarning, "shape.unannotated", ns.target_class,
+                     "node shape carries no sh:count statistics"});
+      continue;
+    }
+    const uint64_t node_count = *ns.count;
+
+    // Node-shape count is a class-instance count and must be contained in
+    // the global class count of its target class.
+    if (dict != nullptr) {
+      if (auto cls = dict->FindIri(ns.target_class)) {
+        uint64_t global_cls = gs.ClassCount(*cls);
+        if (node_count > global_cls) {
+          AddError(&out, "shape.node-count-gt-class", ns.target_class,
+                   "node shape sh:count " + U64(node_count) +
+                       " exceeds global class count " + U64(global_cls));
+        }
+      }
+    }
+
+    for (const shacl::PropertyShape& ps : ns.properties) {
+      const std::string subject = ns.target_class + " / " + ps.path;
+      if (!ps.annotated()) {
+        out.push_back({Severity::kWarning, "shape.unannotated", subject,
+                       "property shape carries no sh:count statistics"});
+        continue;
+      }
+      const uint64_t count = *ps.count;
+      const uint64_t distinct = ps.distinct_count.value_or(0);
+      if (distinct > count) {
+        AddError(&out, "shape.distinct-gt-count", subject,
+                 "sh:distinctCount " + U64(distinct) + " exceeds sh:count " +
+                     U64(count));
+      }
+      if (count > 0 && ps.distinct_count && *ps.distinct_count == 0) {
+        AddError(&out, "shape.zero-distinct", subject,
+                 "sh:count " + U64(count) +
+                     " with sh:distinctCount 0 poisons the Eq. 1-3 "
+                     "max(distinct) divisors");
+      }
+      // Each of the node_count instances contributes between minCount and
+      // maxCount triples, so count must lie in
+      // [minCount * node_count, maxCount * node_count].
+      if (ps.min_count && *ps.min_count * node_count > count) {
+        AddError(&out, "shape.min-count-violation", subject,
+                 "sh:minCount " + U64(*ps.min_count) + " * node count " +
+                     U64(node_count) + " exceeds sh:count " + U64(count));
+      }
+      if (ps.max_count && count > *ps.max_count * node_count) {
+        AddError(&out, "shape.max-count-violation", subject,
+                 "sh:count " + U64(count) + " exceeds sh:maxCount " +
+                     U64(*ps.max_count) + " * node count " + U64(node_count));
+      }
+      // Class-local triples with a predicate are a subset of all triples
+      // with that predicate.
+      if (dict != nullptr) {
+        if (auto pred = dict->FindIri(ps.path)) {
+          const stats::PredicateStats* gp = gs.Predicate(*pred);
+          uint64_t global_count = gp != nullptr ? gp->count : 0;
+          if (count > global_count) {
+            AddError(&out, "shape.prop-count-gt-global", subject,
+                     "property shape sh:count " + U64(count) +
+                         " exceeds global predicate count " +
+                         U64(global_count));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Diagnostics StatsAuditor::AuditAll(const stats::GlobalStats& gs,
+                                   const shacl::ShapesGraph& shapes,
+                                   const rdf::TermDictionary* dict) const {
+  static obs::Counter* audit_errors =
+      obs::MetricsRegistry::Global().GetCounter("analysis.audit_errors");
+  static obs::Counter* audit_warnings =
+      obs::MetricsRegistry::Global().GetCounter("analysis.audit_warnings");
+  Diagnostics out = AuditGlobal(gs, dict);
+  Diagnostics shape_diags = AuditShapes(shapes, gs, dict);
+  out.insert(out.end(), std::make_move_iterator(shape_diags.begin()),
+             std::make_move_iterator(shape_diags.end()));
+  uint64_t errors = CountSeverity(out, Severity::kError);
+  uint64_t warnings = CountSeverity(out, Severity::kWarning);
+  if (errors > 0) audit_errors->Add(errors);
+  if (warnings > 0) audit_warnings->Add(warnings);
+  return out;
+}
+
+}  // namespace shapestats::analysis

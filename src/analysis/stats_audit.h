@@ -1,0 +1,52 @@
+// StatsAuditor: static consistency checks over the statistics artifacts
+// that drive join ordering — the extended-VoID global statistics
+// (Section 5) and the annotated SHACL shapes (Figure 3). A single corrupt
+// number (e.g. distinctCount > count, or a zero distinct count feeding the
+// Eq. 1-3 divisors) silently degrades every plan built from it, so these
+// invariants are checked before query time: in the bench harness after
+// annotation, and on demand via the stats_lint tool.
+//
+// Rule catalog (severity error unless noted):
+//   global.dsc-gt-count          per-predicate distinctSubjects > triples
+//   global.doc-gt-count          per-predicate distinctObjects > triples
+//   global.pred-count-gt-triples per-predicate triples > dataset triples
+//   global.pred-count-sum        sum of per-predicate triples != dataset triples
+//   global.type-inconsistent     typed subjects or distinct classes > type triples
+//   shape.distinct-gt-count      sh:distinctCount > sh:count
+//   shape.zero-distinct          sh:count > 0 with sh:distinctCount = 0
+//   shape.min-count-violation    sh:minCount * node count > sh:count
+//   shape.max-count-violation    sh:count > sh:maxCount * node count
+//   shape.node-count-gt-class    node shape sh:count > global class count
+//   shape.prop-count-gt-global   property shape sh:count > global predicate count
+//   shape.unannotated (warning)  node/property shape without statistics
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "rdf/dictionary.h"
+#include "shacl/shapes.h"
+#include "stats/global_stats.h"
+
+namespace shapestats::analysis {
+
+class StatsAuditor {
+ public:
+  /// Checks the internal consistency of the global statistics. `dict` is
+  /// optional (predicate subjects fall back to numeric term ids).
+  Diagnostics AuditGlobal(const stats::GlobalStats& gs,
+                          const rdf::TermDictionary* dict = nullptr) const;
+
+  /// Checks shape-local invariants and shape-vs-global containment.
+  /// `dict` is optional; the shape-vs-global rules that need term lookup
+  /// (class counts, predicate counts) are skipped without it.
+  Diagnostics AuditShapes(const shacl::ShapesGraph& shapes,
+                          const stats::GlobalStats& gs,
+                          const rdf::TermDictionary* dict = nullptr) const;
+
+  /// AuditGlobal + AuditShapes; publishes analysis.audit_errors /
+  /// analysis.audit_warnings counters to the global metrics registry.
+  Diagnostics AuditAll(const stats::GlobalStats& gs,
+                       const shacl::ShapesGraph& shapes,
+                       const rdf::TermDictionary* dict = nullptr) const;
+};
+
+}  // namespace shapestats::analysis

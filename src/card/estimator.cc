@@ -118,20 +118,27 @@ std::vector<EstimateDetail> CardinalityEstimator::EstimateAllDetailed(
 const shacl::NodeShape* CardinalityEstimator::FindShapeCached(
     rdf::TermId class_id) const {
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    util::MutexLock lock(cache_mu_);
     auto it = shape_cache_.find(class_id);
     if (it != shape_cache_.end()) {
       shape_cache_hits_->Add();
       return it->second;
     }
   }
-  shape_cache_misses_->Add();
+  // Resolve outside the lock; two threads may race here, so re-check under
+  // the second lock before counting: only the thread that actually inserts
+  // records the miss (the loser's lookup was answered by the cache).
   const rdf::Term& cls = dict_.term(class_id);
   const shacl::NodeShape* ns =
       cls.is_iri() ? shapes_->FindByClass(cls.lexical) : nullptr;
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  shape_cache_.emplace(class_id, ns);
-  return ns;
+  util::MutexLock lock(cache_mu_);
+  auto [it, inserted] = shape_cache_.emplace(class_id, ns);
+  if (inserted) {
+    shape_cache_misses_->Add();
+  } else {
+    shape_cache_hits_->Add();
+  }
+  return it->second;
 }
 
 // Table 1: all eight binding combinations plus the four rdf:type special
@@ -264,7 +271,11 @@ std::optional<TpEstimate> CardinalityEstimator::ShapeEstimate(
 
   if (tp.o.is_var()) {
     *f = "property-shape-scan";
-    return TpEstimate{count, dsc, static_cast<double>(*ps->distinct_count)};
+    // DOC clamped like every other divisor feeding Eq. 1-3: an
+    // annotated-but-empty property shape (count = distinctCount = 0) must
+    // not contribute a zero max(distinct) denominator to the SS/SO/OO
+    // join formulas.
+    return TpEstimate{count, dsc, distinct};
   }
   *f = "property-shape-obj-bound";
   double card = count / distinct;  // <?x pred obj> restricted to the class

@@ -5,7 +5,6 @@
 // predicate statistics.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -14,6 +13,7 @@
 #include "rdf/dictionary.h"
 #include "shacl/shapes.h"
 #include "stats/global_stats.h"
+#include "util/thread_annotations.h"
 
 namespace shapestats::card {
 
@@ -102,8 +102,9 @@ class CardinalityEstimator : public PlannerStatsProvider {
   const rdf::TermDictionary& dict_;
   StatsMode mode_;
 
-  mutable std::mutex cache_mu_;
-  mutable std::unordered_map<rdf::TermId, const shacl::NodeShape*> shape_cache_;
+  mutable util::Mutex cache_mu_;
+  mutable std::unordered_map<rdf::TermId, const shacl::NodeShape*> shape_cache_
+      SHAPESTATS_GUARDED_BY(cache_mu_);
 
   // Instrumentation (resolved once; relaxed atomic adds afterwards).
   obs::Counter* estimates_global_;

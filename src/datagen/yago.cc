@@ -219,8 +219,12 @@ rdf::Graph GenerateYago(const YagoOptions& options) {
     class_of_entity[e] = static_cast<uint32_t>(rng.Zipf(options.num_classes, 1.15));
     tail_members[class_of_entity[e]].push_back(e);
   }
+  // Strings built via append throughout this loop: gcc 12's -Wrestrict
+  // false-fires on operator+(const char*, std::string&&) under -O2.
   auto tail_iri = [&](uint32_t e) {
-    return entity_iri("T" + std::to_string(e));
+    std::string name = "T";
+    name += std::to_string(e);
+    return entity_iri(name);
   };
   for (uint32_t e = 0; e < tail_entities; ++e) {
     uint32_t c = class_of_entity[e];
@@ -230,14 +234,17 @@ rdf::Graph GenerateYago(const YagoOptions& options) {
       uint32_t c2 = static_cast<uint32_t>(rng.Zipf(options.num_classes, 1.15));
       if (c2 != c) g.Add(subj, type, classes[c2]);
     }
-    g.Add(subj, label, literal("Entity " + std::to_string(e)));
+    std::string label_value = "Entity ";
+    label_value += std::to_string(e);
+    g.Add(subj, label, literal(label_value));
     for (const PredProfile& prof : profiles[c]) {
       if (!rng.Chance(prof.presence)) continue;
       uint64_t mult = rng.Uniform(1, prof.max_mult);
       for (uint64_t m = 0; m < mult; ++m) {
         if (prof.literal_object) {
-          g.Add(subj, prof.pred,
-                literal("v" + std::to_string(rng.Uniform(0, prof.literal_pool - 1))));
+          std::string value = "v";
+          value += std::to_string(rng.Uniform(0, prof.literal_pool - 1));
+          g.Add(subj, prof.pred, literal(value));
         } else {
           const auto& pool = tail_members[prof.target_class];
           if (pool.empty()) continue;

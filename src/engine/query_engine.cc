@@ -3,6 +3,8 @@
 #include <limits>
 #include <numeric>
 
+#include "analysis/plan_verify.h"
+#include "analysis/query_lint.h"
 #include "exec/executor.h"
 #include "obs/metrics.h"
 #include "opt/join_order.h"
@@ -71,15 +73,40 @@ Result<QueryEngine> QueryEngine::FromNTriplesFile(const std::string& path,
 
 Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp,
                                          obs::PlannerTrace* trace) const {
+  opt::Plan plan;
   if (state_->estimator == nullptr) {
-    opt::Plan plan;
     plan.provider = "textual";
     plan.order.resize(bgp.patterns.size());
     std::iota(plan.order.begin(), plan.order.end(), 0);
     plan.step_estimates.assign(bgp.patterns.size(), 0);
-    return plan;
+    // Textual order executes as written; record whether that order forces
+    // Cartesian steps so the plan verifier judges it by the same contract
+    // as optimized plans.
+    for (size_t k = 1; k < plan.order.size() && !plan.has_cartesian; ++k) {
+      bool joins = false;
+      for (size_t j = 0; j < k && !joins; ++j) {
+        joins = sparql::Joinable(bgp.patterns[plan.order[j]],
+                                 bgp.patterns[plan.order[k]]);
+      }
+      plan.has_cartesian = !joins;
+    }
+  } else {
+    plan = opt::PlanJoinOrder(bgp, *state_->estimator, trace);
   }
-  return opt::PlanJoinOrder(bgp, *state_->estimator, trace);
+  if (state_->options.verify_plans) {
+    analysis::Diagnostics diags = analysis::PlanVerifier().Verify(plan, bgp);
+    if (analysis::HasErrors(diags)) {
+      return Status::Internal("plan failed verification:\n" +
+                              analysis::ToText(diags));
+    }
+  }
+  return plan;
+}
+
+Result<analysis::Diagnostics> QueryEngine::Lint(std::string_view sparql) const {
+  ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
+  sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
+  return analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
 }
 
 Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
@@ -188,6 +215,9 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
     out += "estimated cost: " +
            WithCommas(static_cast<uint64_t>(plan.total_cost)) + "\n";
   }
+  analysis::Diagnostics lint =
+      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
+  if (!lint.empty()) out += analysis::ToText(lint);
   return out;
 }
 
@@ -263,6 +293,11 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   trace.total_ms = total.ElapsedMs();
   analyzes->Add();
   out.text = trace.ToTable();
+  // Lint findings ride along so .analyze shows why a query was empty or
+  // needed a Cartesian product.
+  analysis::Diagnostics lint =
+      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
+  if (!lint.empty()) out.text += analysis::ToText(lint);
   out.json = trace.ToJson();
   return out;
 }

@@ -9,6 +9,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/diagnostics.h"
 #include "card/estimator.h"
 #include "exec/select_executor.h"
 #include "obs/trace.h"
@@ -29,6 +30,11 @@ struct EngineOptions {
   };
   Optimizer optimizer = Optimizer::kShapeStats;
   exec::ExecOptions exec;
+  /// Run analysis::PlanVerifier on every plan before execution (cheap,
+  /// O(n^2) in the BGP size). A violation means a planner/estimator bug;
+  /// the query fails with an Internal status and the
+  /// analysis.plan_violations counter is bumped.
+  bool verify_plans = true;
 };
 
 const char* OptimizerName(EngineOptions::Optimizer opt);
@@ -79,8 +85,15 @@ class QueryEngine {
                               obs::QueryTrace* trace = nullptr) const;
 
   /// Parses and plans without executing; returns a human-readable plan
-  /// description (pattern order with estimates).
+  /// description (pattern order with estimates), followed by any lint
+  /// warnings for the query.
   Result<std::string> Explain(std::string_view sparql) const;
+
+  /// Static analysis only: parses and encodes the query and runs
+  /// analysis::QueryLint against the dataset's statistics (unknown
+  /// predicates/classes, guaranteed-empty patterns, forced Cartesian
+  /// products). Does not plan or execute.
+  Result<analysis::Diagnostics> Lint(std::string_view sparql) const;
 
   /// EXPLAIN ANALYZE: plans the query, executes it once on the profiling
   /// executor, and reports per-step estimated vs. true cardinality with

@@ -93,7 +93,7 @@ class Evaluator {
     return false;
   }
 
-  bool Aborted(const Timer& timer) {
+  bool Aborted(const Timer& /*timer*/) {
     if (options_.max_intermediate_rows &&
         rows_produced_ > options_.max_intermediate_rows) {
       result_.timed_out = true;

@@ -32,7 +32,7 @@ double Histogram::BucketLow(size_t i) {
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (data_.count == 0) {
     data_.min = value;
     data_.max = value;
@@ -46,17 +46,17 @@ void Histogram::Observe(double value) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   data_ = Snapshot{};
 }
 
 Histogram::Snapshot Histogram::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return data_;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [n, c] : counters_) {
     if (n == name) return c.get();
   }
@@ -65,7 +65,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [n, h] : histograms_) {
     if (n == name) return h.get();
   }
@@ -76,7 +76,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 MetricsSnapshot MetricsRegistry::Snap() const {
   MetricsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     snap.counters.reserve(counters_.size());
     for (const auto& [n, c] : counters_) {
       snap.counters.push_back({n, c->value()});
@@ -94,7 +94,7 @@ MetricsSnapshot MetricsRegistry::Snap() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (auto& [n, c] : counters_) c->Reset();
   for (auto& [n, h] : histograms_) h->Reset();
 }

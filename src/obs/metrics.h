@@ -10,9 +10,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace shapestats::obs {
 
@@ -54,8 +55,8 @@ class Histogram {
   Snapshot Snap() const;
 
  private:
-  mutable std::mutex mu_;
-  Snapshot data_;
+  mutable util::Mutex mu_;
+  Snapshot data_ SHAPESTATS_GUARDED_BY(mu_);
 };
 
 /// Point-in-time view of a whole registry.
@@ -105,11 +106,13 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // Parallel name/instrument vectors kept sorted on snapshot, not insert:
   // entries are append-only so raw pointers remain stable.
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      SHAPESTATS_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      SHAPESTATS_GUARDED_BY(mu_);
 };
 
 /// Escapes a string for embedding in JSON output (quotes not included).

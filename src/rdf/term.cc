@@ -16,7 +16,11 @@ std::string Term::ToNTriples() const {
     case TermKind::kBlank:
       return "_:" + lexical;
     case TermKind::kLiteral: {
-      std::string out = "\"" + EscapeLiteral(lexical) + "\"";
+      // Built via append (not `"literal" + temporary`): gcc 12's -Wrestrict
+      // fires a false positive on operator+(const char*, std::string&&).
+      std::string out = "\"";
+      out += EscapeLiteral(lexical);
+      out += "\"";
       if (!lang.empty()) {
         out += "@" + lang;
       } else if (!datatype.empty() && datatype != vocab::kXsdString) {

@@ -18,7 +18,11 @@ std::string WriteShapesTurtle(const ShapesGraph& shapes) {
     if (v) {
       out += indent;
       out += attr;
-      out += " " + std::to_string(*v) + " ;\n";
+      // Appended piecewise: gcc 12's -Wrestrict false-fires on
+      // operator+(const char*, std::string&&) under -O2.
+      out += ' ';
+      out += std::to_string(*v);
+      out += " ;\n";
     }
   };
   for (const NodeShape& ns : shapes.shapes()) {

@@ -1,0 +1,478 @@
+// Unit tests for src/analysis: StatsAuditor over deliberately corrupted
+// statistics (each mutation fires exactly one rule), PlanVerifier over
+// hand-corrupted plans, QueryLint over degenerate BGPs, and concurrency
+// regressions for the metrics registry and the estimator's shape cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "analysis/plan_verify.h"
+#include "analysis/query_lint.h"
+#include "analysis/stats_audit.h"
+#include "card/estimator.h"
+#include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "opt/join_order.h"
+#include "rdf/turtle.h"
+#include "shacl/generator.h"
+#include "shacl/shapes_io.h"
+#include "sparql/parser.h"
+#include "stats/annotator.h"
+
+namespace shapestats::analysis {
+namespace {
+
+using sparql::EncodedBgp;
+
+// Data with precisely known statistics:
+//   8 triples; rdf:type: count 4, dsc 4, doc 2.
+//   class C: 2 instances (a, b); class D: 2 instances (d, e).
+//   ex:p: count 3 (a has 2, b has 1), dsc 2, doc 2 (o1, o2);
+//     within C: count 3, distinct 2, min 1, max 2.
+//   ex:q: count 1, dsc 1, doc 1; within D: count 1, distinct 1, min 0
+//     (ex:e lacks q), max 1.
+constexpr const char* kData = R"(
+@prefix ex: <http://ex/> .
+ex:a a ex:C ; ex:p ex:o1, ex:o2 .
+ex:b a ex:C ; ex:p ex:o1 .
+ex:d a ex:D ; ex:q "lit" .
+ex:e a ex:D .
+)";
+
+class AnalysisFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(rdf::ParseTurtle(kData, &graph_).ok());
+    graph_.Finalize();
+    gs_ = stats::GlobalStats::Compute(graph_);
+    auto shapes = shacl::GenerateShapes(graph_);
+    ASSERT_TRUE(shapes.ok());
+    shapes_ = std::move(shapes).value();
+    ASSERT_TRUE(stats::AnnotateShapes(graph_, &shapes_).ok());
+  }
+
+  EncodedBgp Encode(const std::string& body) {
+    auto q = sparql::ParseQuery("PREFIX ex: <http://ex/>\nSELECT * WHERE {" +
+                                body + "}");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return sparql::EncodeBgp(*q, graph_.dict());
+  }
+
+  rdf::TermId Pred(const char* iri) {
+    auto id = graph_.dict().FindIri(iri);
+    EXPECT_TRUE(id.has_value()) << iri;
+    return *id;
+  }
+
+  // Mutates one shape field, round-trips the shapes graph through its
+  // Turtle serialization (the corrupted statistics now live in a "file"),
+  // and audits what was read back.
+  Diagnostics AuditMutatedShapes(
+      const std::function<void(shacl::ShapesGraph*)>& mutate) {
+    shacl::ShapesGraph corrupted = shapes_;
+    mutate(&corrupted);
+    auto round_tripped = shacl::ReadShapesTurtle(WriteShapesTurtle(corrupted));
+    EXPECT_TRUE(round_tripped.ok()) << round_tripped.status().ToString();
+    return StatsAuditor().AuditShapes(*round_tripped, gs_, &graph_.dict());
+  }
+
+  static shacl::NodeShape* FindShape(shacl::ShapesGraph* shapes,
+                                     std::string_view cls) {
+    for (auto& ns : *shapes->mutable_shapes()) {
+      if (ns.target_class == cls) return &ns;
+    }
+    return nullptr;
+  }
+
+  static shacl::PropertyShape* FindProp(shacl::ShapesGraph* shapes,
+                                        std::string_view cls,
+                                        std::string_view path) {
+    shacl::NodeShape* ns = FindShape(shapes, cls);
+    if (ns == nullptr) return nullptr;
+    for (auto& ps : ns->properties) {
+      if (ps.path == path) return &ps;
+    }
+    return nullptr;
+  }
+
+  rdf::Graph graph_;
+  stats::GlobalStats gs_;
+  shacl::ShapesGraph shapes_;
+};
+
+// --- StatsAuditor: clean statistics produce no findings ---
+
+TEST_F(AnalysisFixture, CleanStatisticsAuditEmpty) {
+  auto diags = StatsAuditor().AuditAll(gs_, shapes_, &graph_.dict());
+  EXPECT_TRUE(diags.empty()) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, CleanAuditWithoutDictionarySkipsLookupRules) {
+  auto diags = StatsAuditor().AuditShapes(shapes_, gs_, nullptr);
+  EXPECT_TRUE(diags.empty()) << ToText(diags);
+}
+
+// --- StatsAuditor: global-statistics corruptions, one rule each ---
+
+TEST_F(AnalysisFixture, GlobalDscGreaterThanCount) {
+  stats::GlobalStats gs = gs_;
+  auto& ps = gs.by_predicate[Pred("http://ex/p")];
+  ps.dsc = ps.count + 1;
+  auto diags = StatsAuditor().AuditGlobal(gs, &graph_.dict());
+  EXPECT_EQ(CountRule(diags, "global.dsc-gt-count"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+  EXPECT_TRUE(HasErrors(diags));
+}
+
+TEST_F(AnalysisFixture, GlobalDocGreaterThanCount) {
+  stats::GlobalStats gs = gs_;
+  auto& ps = gs.by_predicate[Pred("http://ex/q")];
+  ps.doc = ps.count + 1;
+  auto diags = StatsAuditor().AuditGlobal(gs, &graph_.dict());
+  EXPECT_EQ(CountRule(diags, "global.doc-gt-count"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, GlobalPredicateCountExceedsTriples) {
+  stats::GlobalStats gs = gs_;
+  gs.by_predicate[Pred("http://ex/q")].count = gs.num_triples + 5;
+  auto diags = StatsAuditor().AuditGlobal(gs, &graph_.dict());
+  EXPECT_EQ(CountRule(diags, "global.pred-count-gt-triples"), 1u)
+      << ToText(diags);
+  // The per-predicate sum rule necessarily fires too.
+  EXPECT_EQ(CountRule(diags, "global.pred-count-sum"), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, GlobalPredicateSumMismatch) {
+  stats::GlobalStats gs = gs_;
+  gs.num_triples += 1;
+  auto diags = StatsAuditor().AuditGlobal(gs, &graph_.dict());
+  EXPECT_EQ(CountRule(diags, "global.pred-count-sum"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, GlobalTypeInconsistent) {
+  stats::GlobalStats gs = gs_;
+  gs.num_type_subjects = gs.num_type_triples + 1;
+  auto diags = StatsAuditor().AuditGlobal(gs, &graph_.dict());
+  EXPECT_EQ(CountRule(diags, "global.type-inconsistent"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+// --- StatsAuditor: shape corruptions, round-tripped through Turtle ---
+
+TEST_F(AnalysisFixture, ShapeDistinctGreaterThanCount) {
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ps = FindProp(s, "http://ex/C", "http://ex/p");
+    ASSERT_NE(ps, nullptr);
+    ps->distinct_count = *ps->count + 1;
+  });
+  EXPECT_EQ(CountRule(diags, "shape.distinct-gt-count"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+  EXPECT_TRUE(HasErrors(diags));
+}
+
+TEST_F(AnalysisFixture, ShapeZeroDistinctWithPositiveCount) {
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ps = FindProp(s, "http://ex/C", "http://ex/p");
+    ASSERT_NE(ps, nullptr);
+    ps->distinct_count = 0;  // count stays 3: the Eq. 1-3 divisor poison
+  });
+  EXPECT_EQ(CountRule(diags, "shape.zero-distinct"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, ShapeMinCountViolation) {
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ps = FindProp(s, "http://ex/C", "http://ex/p");
+    ASSERT_NE(ps, nullptr);
+    ps->min_count = 2;  // 2 per instance * 2 instances = 4 > count 3
+  });
+  EXPECT_EQ(CountRule(diags, "shape.min-count-violation"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, ShapeMaxCountViolation) {
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ps = FindProp(s, "http://ex/C", "http://ex/p");
+    ASSERT_NE(ps, nullptr);
+    ps->max_count = 1;  // count 3 > 1 per instance * 2 instances
+  });
+  EXPECT_EQ(CountRule(diags, "shape.max-count-violation"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, ShapeNodeCountExceedsClassCount) {
+  // D's only property has min_count 0 (ex:e lacks ex:q), so inflating the
+  // node count violates no per-property bound — only the class containment.
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ns = FindShape(s, "http://ex/D");
+    ASSERT_NE(ns, nullptr);
+    ns->count = 3;  // class D has 2 instances globally
+  });
+  EXPECT_EQ(CountRule(diags, "shape.node-count-gt-class"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, ShapePropertyCountExceedsGlobal) {
+  // 4 stays within minCount/maxCount bounds (1*2 <= 4 <= 2*2) but exceeds
+  // ex:p's global triple count of 3.
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ps = FindProp(s, "http://ex/C", "http://ex/p");
+    ASSERT_NE(ps, nullptr);
+    ps->count = 4;
+  });
+  EXPECT_EQ(CountRule(diags, "shape.prop-count-gt-global"), 1u)
+      << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, ShapeUnannotatedIsWarning) {
+  auto diags = AuditMutatedShapes([](shacl::ShapesGraph* s) {
+    auto* ps = FindProp(s, "http://ex/D", "http://ex/q");
+    ASSERT_NE(ps, nullptr);
+    ps->count.reset();  // stripped statistics survive the Turtle round trip
+  });
+  EXPECT_EQ(CountRule(diags, "shape.unannotated"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+  EXPECT_FALSE(HasErrors(diags));
+  EXPECT_EQ(CountSeverity(diags, Severity::kWarning), 1u);
+}
+
+// --- diagnostics rendering ---
+
+TEST_F(AnalysisFixture, DiagnosticsRenderAsTextAndJson) {
+  Diagnostics diags{{Severity::kError, "shape.distinct-gt-count",
+                     "http://ex/C", "distinct 4 > count \"3\""}};
+  std::string text = ToText(diags);
+  EXPECT_NE(text.find("error [shape.distinct-gt-count]"), std::string::npos)
+      << text;
+  std::string json = ToJson(diags);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"shape.distinct-gt-count\""),
+            std::string::npos)
+      << json;
+  // The quote inside the detail must be escaped.
+  EXPECT_NE(json.find("\\\"3\\\""), std::string::npos) << json;
+}
+
+// --- PlanVerifier ---
+
+class PlanVerifierFixture : public AnalysisFixture {
+ protected:
+  // A valid two-pattern plan from the real planner.
+  void MakePlan(const std::string& body) {
+    bgp_ = Encode(body);
+    est_ = std::make_unique<card::CardinalityEstimator>(
+        gs_, nullptr, graph_.dict(), card::StatsMode::kGlobal);
+    plan_ = opt::PlanJoinOrder(bgp_, *est_);
+  }
+
+  EncodedBgp bgp_;
+  std::unique_ptr<card::CardinalityEstimator> est_;
+  opt::Plan plan_;
+};
+
+TEST_F(PlanVerifierFixture, ValidPlanPasses) {
+  MakePlan("?x a ex:C . ?x ex:p ?y");
+  auto diags = PlanVerifier().Verify(plan_, bgp_);
+  EXPECT_TRUE(diags.empty()) << ToText(diags);
+}
+
+TEST_F(PlanVerifierFixture, OrderSizeMismatch) {
+  MakePlan("?x a ex:C . ?x ex:p ?y");
+  plan_.order.pop_back();
+  auto diags = PlanVerifier().Verify(plan_, bgp_);
+  EXPECT_EQ(CountRule(diags, "plan.order-size"), 1u) << ToText(diags);
+}
+
+TEST_F(PlanVerifierFixture, DuplicateOrderIndex) {
+  MakePlan("?x a ex:C . ?x ex:p ?y");
+  plan_.order[1] = plan_.order[0];
+  auto diags = PlanVerifier().Verify(plan_, bgp_);
+  EXPECT_EQ(CountRule(diags, "plan.order-not-permutation"), 1u)
+      << ToText(diags);
+}
+
+TEST_F(PlanVerifierFixture, DisconnectedStepWithoutCartesianFlag) {
+  MakePlan("?x ex:p ?y . ?a ex:q ?b");  // no shared variables
+  ASSERT_TRUE(plan_.has_cartesian);     // planner flags it honestly
+  auto honest = PlanVerifier().Verify(plan_, bgp_);
+  EXPECT_TRUE(honest.empty()) << ToText(honest);
+
+  plan_.has_cartesian = false;  // a planner that lies about connectivity
+  auto diags = PlanVerifier().Verify(plan_, bgp_);
+  EXPECT_EQ(CountRule(diags, "plan.disconnected-step"), 1u) << ToText(diags);
+}
+
+TEST_F(PlanVerifierFixture, NonFiniteAndNegativeEstimates) {
+  MakePlan("?x a ex:C . ?x ex:p ?y");
+  opt::Plan nan_plan = plan_;
+  nan_plan.step_estimates[1] = std::nan("");
+  auto diags = PlanVerifier().Verify(nan_plan, bgp_);
+  EXPECT_GE(CountRule(diags, "plan.nonfinite-estimate"), 1u) << ToText(diags);
+
+  opt::Plan neg_plan = plan_;
+  neg_plan.step_estimates[0] = -1.0;
+  neg_plan.total_cost = neg_plan.step_estimates[0] + neg_plan.step_estimates[1];
+  diags = PlanVerifier().Verify(neg_plan, bgp_);
+  EXPECT_EQ(CountRule(diags, "plan.nonfinite-estimate"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(PlanVerifierFixture, TotalCostMismatch) {
+  MakePlan("?x a ex:C . ?x ex:p ?y");
+  plan_.total_cost += 10.0;
+  auto diags = PlanVerifier().Verify(plan_, bgp_);
+  EXPECT_EQ(CountRule(diags, "plan.cost-mismatch"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+// --- QueryLint ---
+
+TEST_F(AnalysisFixture, LintCleanQuery) {
+  auto diags = QueryLint(gs_, graph_.dict()).Lint(Encode("?x a ex:C . ?x ex:p ?y"));
+  EXPECT_TRUE(diags.empty()) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, LintMissingConstant) {
+  auto diags = QueryLint(gs_, graph_.dict()).Lint(Encode("?x ex:ghost ?y"));
+  EXPECT_EQ(CountRule(diags, "query.missing-constant"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+  EXPECT_FALSE(HasErrors(diags));  // lint never blocks execution
+}
+
+TEST_F(AnalysisFixture, LintUnknownPredicate) {
+  // ex:o1 is in the dictionary (as an object) but never a predicate.
+  auto diags = QueryLint(gs_, graph_.dict()).Lint(Encode("?x ex:o1 ?y"));
+  EXPECT_EQ(CountRule(diags, "query.unknown-predicate"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, LintUnknownClass) {
+  // ex:o1 is in the dictionary but has no instances as a class.
+  auto diags = QueryLint(gs_, graph_.dict()).Lint(Encode("?x a ex:o1"));
+  EXPECT_EQ(CountRule(diags, "query.unknown-class"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+TEST_F(AnalysisFixture, LintCartesianProduct) {
+  auto diags =
+      QueryLint(gs_, graph_.dict()).Lint(Encode("?x ex:p ?y . ?a ex:q ?b"));
+  EXPECT_EQ(CountRule(diags, "query.cartesian"), 1u) << ToText(diags);
+  EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+// --- engine integration: every produced plan verifies, lint surfaces ---
+
+TEST_F(AnalysisFixture, EngineVerifiesPlansAndLints) {
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(kData, &g).ok());
+  g.Finalize();
+  auto engine = engine::QueryEngine::Open(std::move(g));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  obs::Counter* verifications =
+      obs::MetricsRegistry::Global().GetCounter("analysis.plan_verifications");
+  obs::Counter* violations =
+      obs::MetricsRegistry::Global().GetCounter("analysis.plan_violations");
+  uint64_t verifications_before = verifications->value();
+  uint64_t violations_before = violations->value();
+
+  const char* query =
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x a ex:C . ?x ex:p ?y }";
+  auto r = engine->Execute(query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table.rows.size(), 3u);
+  EXPECT_GT(verifications->value(), verifications_before);
+  EXPECT_EQ(violations->value(), violations_before);
+
+  auto lint = engine->Lint(
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x ex:nothere ?y }");
+  ASSERT_TRUE(lint.ok()) << lint.status().ToString();
+  EXPECT_EQ(CountRule(*lint, "query.missing-constant"), 1u) << ToText(*lint);
+
+  auto explain = engine->Explain(
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x ex:nothere ?y }");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("query.missing-constant"), std::string::npos)
+      << *explain;
+}
+
+// --- concurrency: metrics registry and the estimator's shape cache ---
+
+TEST(AnalysisConcurrencyTest, MetricsRegistryConcurrentAccess) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      obs::Counter* c = reg.GetCounter("conc.c" + std::to_string(t % 4));
+      obs::Histogram* h = reg.GetHistogram("conc.h");
+      for (int i = 0; i < kIters; ++i) {
+        c->Add();
+        h->Observe(static_cast<double>(i));
+        if (i % 256 == 0) (void)reg.Snap();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  uint64_t total = 0;
+  for (const auto& entry : reg.Snap().counters) total += entry.value;
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("conc.h")->Snap().count,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// Regression: concurrent first lookups of the same class must count the
+// cache miss exactly once (the losing inserters re-check under the lock
+// and count hits).
+TEST(AnalysisConcurrencyTest, ShapeCacheCountsSingleMiss) {
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(kData, &g).ok());
+  g.Finalize();
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+  auto shapes = shacl::GenerateShapes(g);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_TRUE(stats::AnnotateShapes(g, &*shapes).ok());
+
+  auto q = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x a ex:C . ?x ex:p ?y }");
+  ASSERT_TRUE(q.ok());
+  EncodedBgp bgp = sparql::EncodeBgp(*q, g.dict());
+
+  obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("card.shape_cache_hit");
+  obs::Counter* misses =
+      obs::MetricsRegistry::Global().GetCounter("card.shape_cache_miss");
+  uint64_t hits_before = hits->value();
+  uint64_t misses_before = misses->value();
+
+  card::CardinalityEstimator est(gs, &*shapes, g.dict(),
+                                 card::StatsMode::kShape);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&est, &bgp] {
+      for (int i = 0; i < kIters; ++i) (void)est.EstimateAll(bgp);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Both patterns resolve class C: one miss ever, hits for the rest.
+  uint64_t lookups = static_cast<uint64_t>(kThreads) * kIters * 2;
+  EXPECT_EQ(misses->value() - misses_before, 1u);
+  EXPECT_EQ(hits->value() - hits_before, lookups - 1);
+}
+
+}  // namespace
+}  // namespace shapestats::analysis

@@ -2,6 +2,8 @@
 // shape modes), shape anchoring, and the Equation 1-3 join estimator.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "card/estimator.h"
 #include "rdf/turtle.h"
 #include "shacl/generator.h"
@@ -274,6 +276,50 @@ TEST_F(CardFixture, ResultCardinalityEstimateIsFinite) {
   double r = est.EstimateResultCardinality(bgp);
   EXPECT_GT(r, 0.0);
   EXPECT_LT(r, 100.0);
+}
+
+// Regression: an annotated-but-empty property shape (count = distinctCount
+// = 0) must clamp its DSC/DOC to 1 — they feed the max(distinct) divisors
+// of Equations 1-3, and a zero denominator poisons every downstream join
+// estimate.
+TEST(ShapeEstimateClampTest, EmptyAnnotatedPropertyShapeClampsDivisors) {
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(
+                  "@prefix ex: <http://ex/> . ex:a a ex:C . ex:z ex:p ex:w .",
+                  &g)
+                  .ok());
+  g.Finalize();
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+
+  // No instance of C has ex:p, so the class-local shape statistics are all
+  // zero while ex:p itself exists in the data (via ex:z).
+  shacl::ShapesGraph shapes;
+  shacl::NodeShape ns;
+  ns.iri = "http://s/C";
+  ns.target_class = "http://ex/C";
+  ns.count = 1;
+  shacl::PropertyShape ps;
+  ps.iri = "http://s/C-p";
+  ps.path = "http://ex/p";
+  ps.min_count = 0;
+  ps.max_count = 0;
+  ps.count = 0;
+  ps.distinct_count = 0;
+  ns.properties.push_back(ps);
+  ASSERT_TRUE(shapes.Add(std::move(ns)).ok());
+
+  CardinalityEstimator est(gs, &shapes, g.dict(), StatsMode::kShape);
+  auto q = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x a ex:C . ?x ex:p ?y }");
+  ASSERT_TRUE(q.ok());
+  auto bgp = sparql::EncodeBgp(*q, g.dict());
+  auto e = est.EstimateAll(bgp);
+  EXPECT_DOUBLE_EQ(e[1].card, 0.0);
+  EXPECT_DOUBLE_EQ(e[1].dsc, 1.0);
+  EXPECT_DOUBLE_EQ(e[1].doc, 1.0);
+  double j = JoinEstimateEq123(bgp.patterns[0], e[0], bgp.patterns[1], e[1]);
+  EXPECT_TRUE(std::isfinite(j));
+  EXPECT_DOUBLE_EQ(j, 0.0);
 }
 
 }  // namespace

@@ -4,18 +4,27 @@
 //  * Estimator sanity: non-negative, finite, join estimate bounded by the
 //    Cartesian product.
 //  * ShEx weight derivation: monotone in constraints, terminates.
+//  * PlanVerifier: every plan the greedy planner emits (global and shape
+//    statistics alike) passes structural verification; generated
+//    statistics pass the StatsAuditor.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <functional>
 
+#include "analysis/plan_verify.h"
+#include "analysis/stats_audit.h"
 #include "baselines/shex/shex_heuristic.h"
 #include "card/estimator.h"
 #include "exec/executor.h"
+#include "opt/join_order.h"
 #include "rdf/graph.h"
 #include "rdf/turtle.h"
+#include "rdf/vocab.h"
+#include "shacl/generator.h"
 #include "sparql/encoded_bgp.h"
 #include "sparql/parser.h"
+#include "stats/annotator.h"
 #include "stats/global_stats.h"
 #include "util/random.h"
 
@@ -183,6 +192,71 @@ TEST_P(EstimatorPropertyTest, EstimatesAreSaneOnRandomPatterns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorPropertyTest,
                          ::testing::Values(11u, 22u, 33u, 44u));
+
+// Like RandomGraph but every node is rdf:type-ed into one of three classes,
+// so shape anchoring (and therefore the SS estimator's shape path) kicks in.
+rdf::Graph RandomTypedGraph(Rng& rng, int num_triples) {
+  rdf::Graph g;
+  TermId type = g.dict().InternIri(std::string(rdf::vocab::kRdfType));
+  std::vector<TermId> nodes, preds, classes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(g.dict().InternIri("http://t/n" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    preds.push_back(g.dict().InternIri("http://t/p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    classes.push_back(g.dict().InternIri("http://t/C" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    g.Add(nodes[i], type, classes[rng.Uniform(0, classes.size() - 1)]);
+  }
+  for (int i = 0; i < num_triples; ++i) {
+    g.Add(nodes[rng.Uniform(0, nodes.size() - 1)],
+          preds[rng.Uniform(0, preds.size() - 1)],
+          nodes[rng.Uniform(0, nodes.size() - 1)]);
+  }
+  g.Finalize();
+  return g;
+}
+
+class PlanVerifierPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Every plan the greedy planner produces — over random BGPs, with both the
+// global and the shape statistics provider — must pass PlanVerifier, and
+// the statistics computed from a real graph must pass the StatsAuditor.
+TEST_P(PlanVerifierPropertyTest, AllProducedPlansVerify) {
+  Rng rng(GetParam());
+  rdf::Graph g = RandomTypedGraph(rng, 80);
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+  auto shapes = shacl::GenerateShapes(g);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_TRUE(stats::AnnotateShapes(g, &*shapes).ok());
+
+  auto audit = analysis::StatsAuditor().AuditAll(gs, *shapes, &g.dict());
+  EXPECT_TRUE(audit.empty()) << analysis::ToText(audit);
+
+  card::CardinalityEstimator global_est(gs, nullptr, g.dict(),
+                                        card::StatsMode::kGlobal);
+  card::CardinalityEstimator shape_est(gs, &*shapes, g.dict(),
+                                       card::StatsMode::kShape);
+  analysis::PlanVerifier verifier;
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = static_cast<int>(rng.Uniform(1, 4));
+    EncodedBgp bgp = RandomBgp(rng, g, n, rng.UniformReal());
+    for (const card::CardinalityEstimator* est : {&global_est, &shape_est}) {
+      opt::Plan plan = opt::PlanJoinOrder(bgp, *est);
+      auto diags = verifier.Verify(plan, bgp);
+      EXPECT_TRUE(diags.empty())
+          << "seed " << GetParam() << " trial " << trial << " provider "
+          << est->name() << "\n"
+          << analysis::ToText(diags);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanVerifierPropertyTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
 
 TEST(ShexWeightsTest, PropagatesAlongMandatoryLinks) {
   shacl::ShapesGraph shapes;
