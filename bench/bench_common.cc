@@ -97,6 +97,32 @@ Dataset BuildYago(uint32_t entities) {
   return ds;
 }
 
+namespace {
+
+engine::QueryEngine OpenEngine(rdf::Graph graph) {
+  auto eng = engine::QueryEngine::Open(std::move(graph));
+  if (!eng.ok()) {
+    std::fprintf(stderr, "engine open failed: %s\n",
+                 eng.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(eng).value();
+}
+
+}  // namespace
+
+engine::QueryEngine OpenLubmEngine(uint32_t universities) {
+  datagen::LubmOptions opts;
+  opts.universities = universities;
+  return OpenEngine(datagen::GenerateLubm(opts));
+}
+
+engine::QueryEngine OpenYagoEngine(uint32_t entities) {
+  datagen::YagoOptions opts;
+  opts.num_entities = entities;
+  return OpenEngine(datagen::GenerateYago(opts));
+}
+
 const char* ApproachName(Approach a) {
   switch (a) {
     case Approach::kSS: return "SS";

@@ -12,6 +12,7 @@
 #include "baselines/heuristic/heuristic_planners.h"
 #include "baselines/sumrdf/summary.h"
 #include "card/estimator.h"
+#include "engine/query_engine.h"
 #include "opt/plan.h"
 #include "rdf/graph.h"
 #include "shacl/shapes.h"
@@ -44,6 +45,12 @@ Dataset BuildLubm(uint32_t universities = 10);
 Dataset BuildWatDiv(uint32_t products = 8000, const char* name = "WATDIV-S");
 /// YAGO scale model.
 Dataset BuildYago(uint32_t entities = 60000);
+
+/// Opens a shape-statistics QueryEngine over a freshly generated graph of
+/// the same scale model (a QueryEngine owns its graph, so the batch
+/// throughput benches regenerate instead of stealing a Dataset's copy).
+engine::QueryEngine OpenLubmEngine(uint32_t universities = 10);
+engine::QueryEngine OpenYagoEngine(uint32_t entities = 60000);
 
 /// The approaches of Figure 4.
 enum class Approach { kSS, kGS, kJena, kGDB, kCS, kSumRDF };

@@ -12,5 +12,9 @@ int main() {
   std::printf("=== Figure 4a: query runtime in LUBM ===\n");
   bench::Dataset ds = bench::BuildLubm();
   bench::PrintRuntimeFigure(ds, workload::LubmQueries());
+
+  std::printf("\n=== Batched execution: LUBM workload throughput ===\n");
+  engine::QueryEngine eng = bench::OpenLubmEngine();
+  bench::PrintBatchThroughput(eng, workload::LubmQueries());
   return 0;
 }

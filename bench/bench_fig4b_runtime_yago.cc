@@ -10,5 +10,9 @@ int main() {
   std::printf("=== Figure 4b: query runtime in YAGO-4 ===\n");
   bench::Dataset ds = bench::BuildYago();
   bench::PrintRuntimeFigure(ds, workload::YagoQueries());
+
+  std::printf("\n=== Batched execution: YAGO workload throughput ===\n");
+  engine::QueryEngine eng = bench::OpenYagoEngine();
+  bench::PrintBatchThroughput(eng, workload::YagoQueries());
   return 0;
 }

@@ -140,4 +140,75 @@ void PrintCostFigure(const Dataset& ds,
       ss_log_sum / n, gs_log_sum / n);
 }
 
+namespace {
+
+// Order-sensitive digest of one query's outcome (status, cardinalities and
+// every row), for checking batch output against the sequential run.
+uint64_t ResultDigest(const Result<engine::QueryResult>& r) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(r.status().code()));
+  if (!r.ok()) return h;
+  mix(r->ask.has_value() ? (*r->ask ? 2 : 1) : 0);
+  mix(r->count.value_or(0));
+  mix(r->table.rows.size());
+  for (const auto& row : r->table.rows) {
+    for (rdf::TermId id : row) mix(id);
+  }
+  return h;
+}
+
+}  // namespace
+
+void PrintBatchThroughput(const engine::QueryEngine& eng,
+                          const std::vector<workload::BenchQuery>& queries,
+                          int reps) {
+  std::vector<std::string> texts;
+  texts.reserve(queries.size());
+  for (const auto& q : queries) texts.push_back(q.text);
+
+  util::ThreadPool sequential(1);
+  util::ThreadPool& parallel = util::ThreadPool::Shared();
+
+  auto run = [&](util::ThreadPool* pool, double* best_ms,
+                 std::vector<uint64_t>* digests) {
+    for (int rep = 0; rep < reps; ++rep) {
+      engine::BatchOptions bopts;
+      bopts.pool = pool;
+      engine::BatchResult batch = eng.ExecuteBatch(texts, bopts);
+      *best_ms = std::min(*best_ms, batch.wall_ms);
+      if (rep == 0) {
+        for (const auto& r : batch.results) digests->push_back(ResultDigest(r));
+      }
+    }
+  };
+  double seq_ms = std::numeric_limits<double>::infinity();
+  double par_ms = std::numeric_limits<double>::infinity();
+  std::vector<uint64_t> seq_digests, par_digests;
+  run(&sequential, &seq_ms, &seq_digests);
+  run(&parallel, &par_ms, &par_digests);
+
+  if (seq_digests != par_digests) {
+    std::fprintf(stderr,
+                 "FATAL: batched execution diverged from sequential results\n");
+    std::abort();
+  }
+
+  TablePrinter table({"mode", "threads", "wall (ms)", "queries/s", "speedup"});
+  auto qps = [&](double ms) {
+    return CompactDouble(1000.0 * static_cast<double>(texts.size()) /
+                         std::max(ms, 0.001));
+  };
+  table.AddRow({"sequential batch", "1", CompactDouble(seq_ms), qps(seq_ms), "1x"});
+  table.AddRow({"parallel batch", std::to_string(parallel.num_threads()),
+                CompactDouble(par_ms), qps(par_ms),
+                CompactDouble(seq_ms / std::max(par_ms, 0.001)) + "x"});
+  table.Print();
+  std::printf("  (batch results verified identical across modes; %d reps, "
+              "best wall time shown)\n",
+              reps);
+}
+
 }  // namespace shapestats::bench

@@ -26,4 +26,13 @@ void PrintCostFigure(const Dataset& ds,
                      const std::vector<workload::BenchQuery>& queries,
                      const RunOptions& options = {});
 
+/// Batched-execution companion to Figure 4a/4b: runs the whole workload
+/// through QueryEngine::ExecuteBatch on a 1-thread pool (sequential
+/// latency) and on the shared pool (parallel throughput), verifies the
+/// batch output is identical, and prints wall time, queries/s and the
+/// speedup. `reps` batches per mode; the fastest is reported.
+void PrintBatchThroughput(const engine::QueryEngine& eng,
+                          const std::vector<workload::BenchQuery>& queries,
+                          int reps = 3);
+
 }  // namespace shapestats::bench

@@ -254,7 +254,7 @@ rdf::Graph GenerateYago(const YagoOptions& options) {
     }
   }
 
-  g.Finalize();
+  if (options.finalize) g.Finalize();
   return g;
 }
 

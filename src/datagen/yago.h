@@ -20,9 +20,12 @@ struct YagoOptions {
   uint32_t num_predicates = 120;
   uint32_t num_entities = 60000;
   uint64_t seed = 23;
+  /// When false the returned graph is left unfinalized, so callers can time
+  /// or parameterize Graph::Finalize themselves (bench_preprocessing).
+  bool finalize = true;
 };
 
-/// Generates and finalizes a YAGO-style heterogeneous graph.
+/// Generates (and by default finalizes) a YAGO-style heterogeneous graph.
 rdf::Graph GenerateYago(const YagoOptions& options = {});
 
 }  // namespace shapestats::datagen

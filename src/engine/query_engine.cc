@@ -35,7 +35,11 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
   State& st = *engine.state_;
   st.options = options;
   st.graph = std::move(graph);
-  st.gs = stats::GlobalStats::Compute(st.graph);
+  util::ThreadPool* pool = options.pool;
+  Timer phase;
+  st.gs = stats::GlobalStats::Compute(st.graph, pool);
+  obs::MetricsRegistry::Global().Observe("engine.preprocess.global_stats_ms",
+                                         phase.ElapsedMs());
 
   switch (options.optimizer) {
     case EngineOptions::Optimizer::kShapeStats: {
@@ -44,7 +48,10 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
       // global statistics rather than failing.
       if (shapes.ok()) {
         st.shapes = std::move(shapes).value();
-        RETURN_NOT_OK(stats::AnnotateShapes(st.graph, &st.shapes).status());
+        phase.Reset();
+        RETURN_NOT_OK(stats::AnnotateShapes(st.graph, &st.shapes, pool).status());
+        obs::MetricsRegistry::Global().Observe("engine.preprocess.annotate_ms",
+                                               phase.ElapsedMs());
         st.estimator = std::make_unique<card::CardinalityEstimator>(
             st.gs, &st.shapes, st.graph.dict(), card::StatsMode::kShape);
       } else {
@@ -60,6 +67,7 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
     case EngineOptions::Optimizer::kTextual:
       break;
   }
+  obs::PublishSharedPoolMetrics();
   return engine;
 }
 
@@ -67,7 +75,10 @@ Result<QueryEngine> QueryEngine::FromNTriplesFile(const std::string& path,
                                                   EngineOptions options) {
   rdf::Graph graph;
   RETURN_NOT_OK(rdf::LoadNTriplesFile(path, &graph));
-  graph.Finalize();
+  Timer phase;
+  graph.Finalize(options.pool);
+  obs::MetricsRegistry::Global().Observe("engine.preprocess.finalize_ms",
+                                         phase.ElapsedMs());
   return Open(std::move(graph), options);
 }
 
@@ -186,6 +197,47 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                                        result.plan.order, eopts));
   finish(result.table.rows.size(), result.table.timed_out);
   return result;
+}
+
+BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
+                                      const BatchOptions& options) const {
+  static obs::Counter* batches =
+      obs::MetricsRegistry::Global().GetCounter("engine.batches");
+  static obs::Counter* batch_queries =
+      obs::MetricsRegistry::Global().GetCounter("engine.batch_queries");
+  static obs::Histogram* batch_ms =
+      obs::MetricsRegistry::Global().GetHistogram("engine.batch_ms");
+  util::ThreadPool& pool =
+      options.pool != nullptr
+          ? *options.pool
+          : (state_->options.pool != nullptr ? *state_->options.pool
+                                             : util::ThreadPool::Shared());
+  BatchResult batch;
+  batch.results.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    batch.results.emplace_back(Status::Internal("query not executed"));
+  }
+  if (options.collect_traces) batch.traces.resize(queries.size());
+
+  Timer timer;
+  // Queries only read the finalized graph and the immutable statistics (the
+  // estimator's shape cache is internally synchronized), so they fan out
+  // directly; every query writes only its own slot, which makes the batch
+  // output independent of scheduling.
+  pool.ParallelFor(0, queries.size(), [&](size_t i) {
+    obs::QueryTrace* trace =
+        options.collect_traces ? &batch.traces[i] : nullptr;
+    batch.results[i] = Execute(queries[i], trace);
+  });
+  batch.wall_ms = timer.ElapsedMs();
+  for (const Result<QueryResult>& r : batch.results) {
+    if (r.ok()) batch.sum_query_ms += r->total_ms;
+  }
+  batches->Add();
+  batch_queries->Add(queries.size());
+  batch_ms->Observe(batch.wall_ms);
+  obs::PublishSharedPoolMetrics();
+  return batch;
 }
 
 Result<std::string> QueryEngine::Explain(std::string_view sparql) const {

@@ -19,6 +19,7 @@
 #include "sparql/query_graph.h"
 #include "stats/global_stats.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace shapestats::engine {
 
@@ -35,6 +36,10 @@ struct EngineOptions {
   /// the query fails with an Internal status and the
   /// analysis.plan_violations counter is bumped.
   bool verify_plans = true;
+  /// Thread pool for preprocessing (statistics, shape annotation) and as
+  /// the default pool for ExecuteBatch. Null means util::ThreadPool::Shared()
+  /// (sized by SHAPESTATS_THREADS). Must outlive the engine.
+  util::ThreadPool* pool = nullptr;
 };
 
 const char* OptimizerName(EngineOptions::Optimizer opt);
@@ -63,6 +68,27 @@ struct AnalyzeResult {
   std::string json;
 };
 
+/// Options for ExecuteBatch.
+struct BatchOptions {
+  /// Pool the batch fans out on. Null falls back to EngineOptions::pool,
+  /// then to util::ThreadPool::Shared(). A 1-thread pool executes the batch
+  /// sequentially on the calling thread.
+  util::ThreadPool* pool = nullptr;
+  /// Collect a per-query obs::QueryTrace (BatchResult::traces, index-aligned
+  /// with the input).
+  bool collect_traces = false;
+};
+
+/// Result of one ExecuteBatch call. `results[i]` is the outcome of
+/// `queries[i]` — slot order never depends on scheduling, so batch output is
+/// deterministic and directly comparable against sequential execution.
+struct BatchResult {
+  std::vector<Result<QueryResult>> results;
+  std::vector<obs::QueryTrace> traces;  // empty unless collect_traces
+  double wall_ms = 0;        // end-to-end batch wall time
+  double sum_query_ms = 0;   // sum of per-query times (sequential-equivalent)
+};
+
 /// Movable handle; all state lives behind one stable heap allocation so
 /// the internal estimator's references survive moves.
 class QueryEngine {
@@ -83,6 +109,13 @@ class QueryEngine {
   /// planner decision counters, and executor probe/scan counters.
   Result<QueryResult> Execute(std::string_view sparql,
                               obs::QueryTrace* trace = nullptr) const;
+
+  /// Executes a workload of queries concurrently over the shared immutable
+  /// graph and statistics. Each query runs exactly as Execute would run it
+  /// (same plans, same results); only scheduling differs. Per-query failures
+  /// land in their result slot — the batch itself never aborts early.
+  BatchResult ExecuteBatch(const std::vector<std::string>& queries,
+                           const BatchOptions& options = {}) const;
 
   /// Parses and plans without executing; returns a human-readable plan
   /// description (pattern order with estimates), followed by any lint

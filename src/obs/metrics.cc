@@ -6,6 +6,7 @@
 
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace shapestats::obs {
 
@@ -176,6 +177,32 @@ std::string MetricsSnapshot::ToText() const {
   }
   if (out.empty()) out = "(no metrics recorded)\n";
   return out;
+}
+
+void PublishSharedPoolMetrics() {
+  util::ThreadPool::StatsSnapshot snap = util::ThreadPool::Shared().stats();
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // The pool's totals are monotonic, so the registry counters mirror them
+  // by adding the delta since the last publish. Guarded so concurrent
+  // publishers cannot double-count a delta.
+  static util::Mutex mu;
+  static uint64_t last_tasks SHAPESTATS_GUARDED_BY(mu) = 0;
+  static uint64_t last_peak SHAPESTATS_GUARDED_BY(mu) = 0;
+  static bool threads_published SHAPESTATS_GUARDED_BY(mu) = false;
+  util::MutexLock lock(mu);
+  if (snap.tasks_executed > last_tasks) {
+    reg.GetCounter("pool.tasks_executed")->Add(snap.tasks_executed - last_tasks);
+    last_tasks = snap.tasks_executed;
+  }
+  if (snap.peak_queue_depth > last_peak) {
+    reg.GetCounter("pool.peak_queue_depth")
+        ->Add(snap.peak_queue_depth - last_peak);
+    last_peak = snap.peak_queue_depth;
+  }
+  if (!threads_published) {
+    reg.GetCounter("pool.threads")->Add(snap.num_threads);
+    threads_published = true;
+  }
 }
 
 }  // namespace shapestats::obs

@@ -118,4 +118,11 @@ class MetricsRegistry {
 /// Escapes a string for embedding in JSON output (quotes not included).
 std::string JsonEscape(const std::string& s);
 
+/// Copies the shared util::ThreadPool's activity counters into the global
+/// registry: `pool.tasks_executed` and `pool.peak_queue_depth` (published as
+/// deltas so the registry counters track the pool's monotonic totals) plus
+/// `pool.threads`. Called by the engine after preprocessing and after every
+/// batch, so `.metrics` always reflects recent pool activity.
+void PublishSharedPoolMetrics();
+
 }  // namespace shapestats::obs

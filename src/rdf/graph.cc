@@ -47,7 +47,10 @@ std::span<const Triple> Range(const std::vector<Triple>& index, const Triple& lo
                               const Triple& hi) {
   auto begin = std::lower_bound(index.begin(), index.end(), lo, Less{});
   auto end = std::upper_bound(begin, index.end(), hi, Less{});
-  return {&*begin, static_cast<size_t>(end - begin)};
+  // Build the span from the base pointer: dereferencing `begin` would be UB
+  // whenever the match range is empty or begin is the end iterator.
+  return {index.data() + (begin - index.begin()),
+          static_cast<size_t>(end - begin)};
 }
 
 }  // namespace
@@ -62,18 +65,48 @@ void Graph::Add(const Term& s, const Term& p, const Term& o) {
   Add(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o));
 }
 
-void Graph::Finalize() {
+void Graph::Finalize(util::ThreadPool* pool) {
   assert(!finalized_);
-  std::sort(spo_.begin(), spo_.end(), LessSPO{});
+  util::ThreadPool& tp = pool != nullptr ? *pool : util::ThreadPool::Shared();
+  // The SPO sort + dedup must finish first: the three secondary indexes are
+  // copies of the deduplicated triple set. Every comparator orders all three
+  // components, so equal elements are identical and the chunked parallel
+  // sort produces byte-for-byte the std::sort result.
+  util::ParallelSort(spo_, LessSPO{}, tp);
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
   spo_.shrink_to_fit();
-  pos_ = spo_;
-  std::sort(pos_.begin(), pos_.end(), LessPOS{});
-  osp_ = spo_;
-  std::sort(osp_.begin(), osp_.end(), LessOSP{});
-  pso_ = spo_;
-  std::sort(pso_.begin(), pso_.end(), LessPSO{});
+  if (tp.num_threads() > 1) {
+    std::vector<Triple>* targets[] = {&pos_, &osp_, &pso_};
+    tp.ParallelFor(0, 3, [&](size_t i) {
+      *targets[i] = spo_;
+      switch (i) {
+        case 0: std::sort(pos_.begin(), pos_.end(), LessPOS{}); break;
+        case 1: std::sort(osp_.begin(), osp_.end(), LessOSP{}); break;
+        case 2: std::sort(pso_.begin(), pso_.end(), LessPSO{}); break;
+      }
+    });
+  } else {
+    pos_ = spo_;
+    std::sort(pos_.begin(), pos_.end(), LessPOS{});
+    osp_ = spo_;
+    std::sort(osp_.begin(), osp_.end(), LessOSP{});
+    pso_ = spo_;
+    std::sort(pso_.begin(), pso_.end(), LessPSO{});
+  }
   finalized_ = true;
+}
+
+std::vector<TermId> Graph::Predicates() const {
+  assert(finalized_);
+  // One pass over the PSO run boundaries, galloping to each run's end with
+  // upper_bound — O(P log N) instead of a std::set insert per triple.
+  std::vector<TermId> preds;
+  auto it = pso_.begin();
+  while (it != pso_.end()) {
+    preds.push_back(it->p);
+    it = std::upper_bound(it, pso_.end(), Triple{kMax, it->p, kMax}, LessPSO{});
+  }
+  return preds;
 }
 
 std::span<const Triple> Graph::Match(OptId s, OptId p, OptId o) const {

@@ -19,6 +19,7 @@
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace shapestats::rdf {
 
@@ -50,14 +51,23 @@ class Graph {
   void Add(const Term& s, const Term& p, const Term& o);
 
   /// Sorts and deduplicates, builds all indexes. Must be called before any
-  /// Match/Count query; Add after Finalize is an error.
-  void Finalize();
+  /// Match/Count query; Add after Finalize is an error. The SPO sort and the
+  /// three secondary index builds run on `pool` (the shared pool when null);
+  /// the resulting indexes are identical for every pool size.
+  void Finalize(util::ThreadPool* pool = nullptr);
 
   bool finalized() const { return finalized_; }
   size_t NumTriples() const { return spo_.size(); }
 
   /// All triples in SPO order.
   std::span<const Triple> triples() const { return spo_; }
+
+  /// All triples in OSP order (objects grouped; distinct-object scans).
+  std::span<const Triple> triples_by_object() const { return osp_; }
+
+  /// The distinct predicates of the graph, in ascending id order, read off
+  /// the PSO run boundaries in one pass.
+  std::vector<TermId> Predicates() const;
 
   /// Triples matching a pattern, as a contiguous span of one index.
   /// For the (S, ?, O) pattern the result comes from the OSP index with a

@@ -10,6 +10,7 @@
 #include "rdf/graph.h"
 #include "shacl/shapes.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace shapestats::stats {
 
@@ -22,7 +23,11 @@ struct AnnotatorReport {
 /// Annotates `shapes` in place with the statistics of `data`.
 /// Property shapes whose path does not occur for any instance get
 /// count = 0, minCount = 0, maxCount = 0, distinctCount = 0.
+/// Node shapes are annotated concurrently on `pool` (the shared pool when
+/// null); each shape's statistics are independent, so the annotated shapes
+/// graph is identical for every pool size.
 Result<AnnotatorReport> AnnotateShapes(const rdf::Graph& data,
-                                       shacl::ShapesGraph* shapes);
+                                       shacl::ShapesGraph* shapes,
+                                       util::ThreadPool* pool = nullptr);
 
 }  // namespace shapestats::stats

@@ -10,6 +10,7 @@
 
 #include "rdf/graph.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace shapestats::stats {
 
@@ -36,8 +37,12 @@ struct GlobalStats {
   std::unordered_map<rdf::TermId, PredicateStats> by_predicate;
   std::unordered_map<rdf::TermId, uint64_t> class_counts;  // class -> instances
 
-  /// Scans a finalized graph and computes all statistics.
-  static GlobalStats Compute(const rdf::Graph& graph);
+  /// Scans a finalized graph and computes all statistics. Per-predicate
+  /// counts fan out over `pool` (the shared pool when null); the result is
+  /// identical — including map layout and serialization — for every pool
+  /// size.
+  static GlobalStats Compute(const rdf::Graph& graph,
+                             util::ThreadPool* pool = nullptr);
 
   const PredicateStats* Predicate(rdf::TermId p) const {
     auto it = by_predicate.find(p);

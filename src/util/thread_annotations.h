@@ -46,6 +46,11 @@ class SHAPESTATS_CAPABILITY("mutex") Mutex {
   void Unlock() SHAPESTATS_RELEASE() { mu_.unlock(); }
   bool TryLock() SHAPESTATS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  // BasicLockable spellings so util::Mutex can be waited on with
+  // std::condition_variable_any (used by util::ThreadPool).
+  void lock() SHAPESTATS_ACQUIRE() { mu_.lock(); }
+  void unlock() SHAPESTATS_RELEASE() { mu_.unlock(); }
+
  private:
   std::mutex mu_;
 };

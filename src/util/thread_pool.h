@@ -1,0 +1,141 @@
+// Shared fixed-size thread pool for the preprocessing pipeline and batched
+// query execution. Design points:
+//
+//  * `ThreadPool(n)` provides n-way parallelism *including the calling
+//    thread*: n-1 workers are spawned and ParallelFor has the caller claim
+//    chunks alongside them. `ThreadPool(1)` (or 0) spawns no workers and
+//    runs everything inline, so "threads=1" is byte-for-byte the sequential
+//    code path — the determinism tests rely on this.
+//  * ParallelFor is deadlock-free under nesting: work is claimed from a
+//    shared atomic cursor and the caller always participates, so progress
+//    never depends on a worker being free.
+//  * The process-wide pool (`Shared()`) is sized by the SHAPESTATS_THREADS
+//    environment variable, defaulting to the hardware concurrency. It is
+//    intentionally leaked so worker shutdown never races static
+//    destruction.
+//  * The queue is guarded by the annotated util::Mutex so clang's
+//    -Wthread-safety proves the locking discipline; cheap activity stats
+//    (tasks executed, peak queue depth) are relaxed atomics surfaced to the
+//    obs::MetricsRegistry by obs::PublishSharedPoolMetrics().
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace shapestats::util {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism, caller included; values <= 1 mean
+  /// fully sequential (no worker threads are spawned).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (callers of ParallelFor count as one).
+  unsigned num_threads() const { return num_threads_; }
+
+  /// True when the pool runs everything inline on the calling thread.
+  bool sequential() const { return workers_.empty(); }
+
+  /// Enqueues a task. With no workers the task runs inline before Submit
+  /// returns. Fire-and-forget: use ParallelFor when completion matters.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(i) for every i in [begin, end), returning when all calls have
+  /// completed. The caller participates; iterations may run in any order and
+  /// on any thread, so fn must only touch state owned by iteration i.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+  /// Chunked variant: runs fn(lo, hi) over a partition of [begin, end) into
+  /// contiguous chunks of at least `min_chunk` elements. Use for cheap
+  /// per-element work where per-index dispatch would dominate.
+  void ParallelForChunks(size_t begin, size_t end, size_t min_chunk,
+                         const std::function<void(size_t, size_t)>& fn);
+
+  /// Monotonic activity counters (relaxed reads; safe from any thread).
+  struct StatsSnapshot {
+    uint64_t tasks_executed = 0;    // pool tasks + ParallelFor chunks run
+    uint64_t peak_queue_depth = 0;  // high-water mark of the work queue
+    unsigned num_threads = 1;
+  };
+  StatsSnapshot stats() const;
+
+  /// Pool size from SHAPESTATS_THREADS (clamped to [1, 512]), defaulting to
+  /// std::thread::hardware_concurrency().
+  static unsigned DefaultThreads();
+
+  /// Process-wide pool of DefaultThreads() threads. Never destroyed.
+  static ThreadPool& Shared();
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+  void RunChunks(const std::shared_ptr<ForState>& state);
+
+  const unsigned num_threads_;
+  mutable Mutex mu_;
+  std::condition_variable_any cv_;  // signalled with mu_ held
+  std::deque<std::function<void()>> queue_ SHAPESTATS_GUARDED_BY(mu_);
+  bool stop_ SHAPESTATS_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> tasks_executed_{0};
+  std::atomic<uint64_t> peak_queue_depth_{0};
+};
+
+/// Sorts `v` with the pool: sorts contiguous chunks in parallel, then merges
+/// adjacent chunks in parallel rounds. `less` must induce a total order over
+/// equal-comparing elements being interchangeable (true for component-wise
+/// triple comparators), which makes the result identical to std::sort.
+template <typename T, typename Less>
+void ParallelSort(std::vector<T>& v, Less less, ThreadPool& pool) {
+  // Below this size the chunk bookkeeping costs more than it saves.
+  constexpr size_t kMinChunk = size_t{1} << 14;
+  const size_t n = v.size();
+  if (pool.num_threads() <= 1 || n < 2 * kMinChunk) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  size_t chunks = std::min<size_t>(pool.num_threads(), n / kMinChunk);
+  std::vector<size_t> bounds(chunks + 1);
+  for (size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+  pool.ParallelFor(0, chunks, [&](size_t c) {
+    std::sort(v.begin() + static_cast<ptrdiff_t>(bounds[c]),
+              v.begin() + static_cast<ptrdiff_t>(bounds[c + 1]), less);
+  });
+  // Merge adjacent sorted runs, halving the run count each round.
+  while (bounds.size() > 2) {
+    std::vector<size_t> next;
+    next.push_back(bounds.front());
+    std::vector<std::array<size_t, 3>> merges;
+    for (size_t c = 0; c + 2 < bounds.size(); c += 2) {
+      merges.push_back({bounds[c], bounds[c + 1], bounds[c + 2]});
+      next.push_back(bounds[c + 2]);
+    }
+    if (bounds.size() % 2 == 0) next.push_back(bounds.back());
+    pool.ParallelFor(0, merges.size(), [&](size_t m) {
+      auto [lo, mid, hi] = merges[m];
+      std::inplace_merge(v.begin() + static_cast<ptrdiff_t>(lo),
+                         v.begin() + static_cast<ptrdiff_t>(mid),
+                         v.begin() + static_cast<ptrdiff_t>(hi), less);
+    });
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace shapestats::util

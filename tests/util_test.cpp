@@ -1,10 +1,17 @@
-// Unit tests for src/util: Status/Result, string helpers, RNG, tables.
+// Unit tests for src/util: Status/Result, string helpers, RNG, tables,
+// thread pool.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <thread>
 
 #include "util/random.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace shapestats {
 namespace {
@@ -167,6 +174,89 @@ TEST(TablePrinterTest, PadsShortRows) {
   t.AddRow({"x"});
   std::string out = t.Render();
   EXPECT_NE(out.find("| x | "), std::string::npos);
+}
+
+TEST(ThreadPoolTest, SequentialPoolRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_TRUE(pool.sequential());
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.ParallelFor(0, 8, [&](size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(0, kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionsRange) {
+  util::ThreadPool pool(4);
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelForChunks(10, 10 + kN, /*min_chunk=*/64,
+                         [&](size_t begin, size_t end) {
+                           ASSERT_LE(begin, end);
+                           for (size_t i = begin; i < end; ++i) {
+                             hits[i - 10].fetch_add(1);
+                           }
+                         });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  util::ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelForChunks(5, 5, 16, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, SubmitExecutesTask) {
+  std::atomic<bool> ran{false};
+  {
+    util::ThreadPool pool(3);
+    pool.Submit([&] { ran.store(true); });
+  }  // destructor drains the queue
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  util::ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 8, [&](size_t i) {
+    pool.ParallelFor(0, 8, [&](size_t j) { sum.fetch_add(i * 8 + j); });
+  });
+  // sum of 0..63
+  EXPECT_EQ(sum.load(), 2016u);
+}
+
+TEST(ThreadPoolTest, ParallelSortMatchesStdSort) {
+  util::ThreadPool pool(4);
+  Rng rng(99);
+  std::vector<uint64_t> v(200000);
+  for (auto& x : v) x = rng.Uniform(0, 1000);  // many duplicates
+  std::vector<uint64_t> expected = v;
+  std::sort(expected.begin(), expected.end());
+  util::ParallelSort(v, std::less<uint64_t>{}, pool);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(ThreadPoolTest, StatsCountTasks) {
+  util::ThreadPool pool(4);
+  pool.ParallelFor(0, 100, [](size_t) {});
+  auto snap = pool.stats();
+  EXPECT_EQ(snap.num_threads, 4u);
+  EXPECT_GT(snap.tasks_executed, 0u);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(util::ThreadPool::DefaultThreads(), 1u);
+  EXPECT_GE(util::ThreadPool::Shared().num_threads(), 1u);
 }
 
 }  // namespace
