@@ -13,6 +13,7 @@
 #include <limits>
 
 #include "bench_common.h"
+#include "bench_telemetry.h"
 #include "sparql/query_graph.h"
 #include "exec/executor.h"
 #include "opt/join_order.h"
@@ -74,6 +75,7 @@ double Median(std::vector<double> v) {
 }  // namespace
 
 int main() {
+  bench::BenchTelemetry telemetry("ablation_stats");
   std::printf("=== Ablation: which shape statistics matter ===\n");
   bench::Dataset ds = bench::BuildLubm();
 

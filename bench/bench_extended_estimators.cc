@@ -13,6 +13,7 @@
 #include "baselines/charsets/char_pairs.h"
 #include "baselines/sampling/wander_join.h"
 #include "bench_common.h"
+#include "bench_telemetry.h"
 #include "exec/executor.h"
 #include "opt/join_order.h"
 #include "sparql/parser.h"
@@ -22,6 +23,7 @@
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("extended_estimators");
   std::printf("=== Extension estimators: ECS and sampling vs the paper's ===\n");
   bench::Dataset ds = bench::BuildLubm();
 

@@ -5,10 +5,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("fig4a_runtime_lubm");
   std::printf("=== Figure 4a: query runtime in LUBM ===\n");
   bench::Dataset ds = bench::BuildLubm();
   bench::PrintRuntimeFigure(ds, workload::LubmQueries());

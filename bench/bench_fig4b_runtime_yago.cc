@@ -3,10 +3,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("fig4b_runtime_yago");
   std::printf("=== Figure 4b: query runtime in YAGO-4 ===\n");
   bench::Dataset ds = bench::BuildYago();
   bench::PrintRuntimeFigure(ds, workload::YagoQueries());

@@ -5,10 +5,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("fig4c_qerror_lubm");
   std::printf("=== Figure 4c: q-error in LUBM ===\n");
   bench::Dataset ds = bench::BuildLubm();
   bench::PrintQErrorFigure(ds, workload::LubmQueries());

@@ -3,10 +3,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("fig4d_qerror_yago");
   std::printf("=== Figure 4d: q-error in YAGO-4 ===\n");
   bench::Dataset ds = bench::BuildYago();
   bench::PrintQErrorFigure(ds, workload::YagoQueries());

@@ -4,10 +4,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("fig4e_cost_lubm");
   std::printf("=== Figure 4e: estimated vs true plan cost in LUBM ===\n");
   bench::Dataset ds = bench::BuildLubm();
   bench::PrintCostFigure(ds, workload::LubmQueries());

@@ -3,10 +3,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("fig4f_cost_yago");
   std::printf("=== Figure 4f: estimated vs true plan cost in YAGO-4 ===\n");
   bench::Dataset ds = bench::BuildYago();
   bench::PrintCostFigure(ds, workload::YagoQueries());

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_telemetry.h"
+#include "obs/accuracy_ledger.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -66,6 +68,19 @@ void PrintRuntimeFigure(const Dataset& ds,
                 ApproachName(a), pct, avg_overhead);
   }
   if (timeouts) std::printf("  (%d timeouts marked TO)\n", timeouts);
+
+  if (BenchTelemetry* bt = BenchTelemetry::Current()) {
+    for (Approach a : AllApproaches()) {
+      std::string name = ApproachName(a);
+      double total = 0;
+      for (size_t qi = 0; qi < queries.size(); ++qi) total += runs[qi][a].mean_ms;
+      bt->Timing("runtime." + name + ".total_ms", total);
+      bt->Counter("runtime." + name + ".best_pct",
+                  100.0 * best_count[a] / static_cast<double>(queries.size()));
+    }
+    bt->Counter("runtime.queries", static_cast<double>(queries.size()));
+    bt->Counter("runtime.timeouts", timeouts);
+  }
 }
 
 void PrintQErrorFigure(const Dataset& ds,
@@ -105,6 +120,19 @@ void PrintQErrorFigure(const Dataset& ds,
     std::printf("  %-7s %2d queries < 15, %2d queries < 250, %2d queries >= 250\n",
                 ApproachName(a), lt15, lt250, ge250);
   }
+
+  if (BenchTelemetry* bt = BenchTelemetry::Current()) {
+    // q-errors are estimates vs. exact executed cardinalities — fully
+    // deterministic, so they go into the strictly-compared counters.
+    for (Approach a : EstimatingApproaches()) {
+      std::string name = ApproachName(a);
+      std::vector<double> qe = qerrors[a];
+      bt->Counter("qerror." + name + ".p50", obs::ExactPercentile(qe, 50));
+      bt->Counter("qerror." + name + ".p95", obs::ExactPercentile(qe, 95));
+      bt->Counter("qerror." + name + ".max", obs::ExactPercentile(qe, 100));
+    }
+    bt->Counter("qerror.queries", static_cast<double>(queries.size()));
+  }
 }
 
 void PrintCostFigure(const Dataset& ds,
@@ -138,6 +166,11 @@ void PrintCostFigure(const Dataset& ds,
       "\nMean |log10(est/true)| — lower means the estimated cost tracks the\n"
       "actual cost better: SS %.2f vs GS %.2f\n",
       ss_log_sum / n, gs_log_sum / n);
+
+  if (BenchTelemetry* bt = BenchTelemetry::Current()) {
+    bt->Counter("cost.SS.mean_abs_log10_ratio", ss_log_sum / n);
+    bt->Counter("cost.GS.mean_abs_log10_ratio", gs_log_sum / n);
+  }
 }
 
 namespace {
@@ -209,6 +242,15 @@ void PrintBatchThroughput(const engine::QueryEngine& eng,
   std::printf("  (batch results verified identical across modes; %d reps, "
               "best wall time shown)\n",
               reps);
+
+  if (BenchTelemetry* bt = BenchTelemetry::Current()) {
+    uint64_t digest = 1469598103934665603ull;
+    for (uint64_t d : seq_digests) digest = (digest ^ d) * 1099511628211ull;
+    bt->Digest("batch.results", digest);
+    bt->Counter("batch.queries", static_cast<double>(texts.size()));
+    bt->Timing("batch.sequential_ms", seq_ms);
+    bt->Timing("batch.parallel_ms", par_ms);
+  }
 }
 
 }  // namespace shapestats::bench

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "bench_telemetry.h"
 #include "datagen/yago.h"
 #include "shacl/generator.h"
 #include "shacl/shapes_io.h"
@@ -76,6 +77,7 @@ ScalingRun RunPreprocessing(unsigned threads) {
 }  // namespace
 
 int main() {
+  bench::BenchTelemetry telemetry("preprocessing");
   std::printf("=== Section 7: preprocessing time and artifact size ===\n\n");
 
   struct Row {
@@ -126,6 +128,12 @@ int main() {
                             Fnv1a(stats::WriteVoidTurtle(ds.gs, ds.graph.dict())));
     std::printf("stats digest %s: %016llx\n", ds.name.c_str(),
                 static_cast<unsigned long long>(digest));
+    telemetry.Digest("stats." + ds.name, digest);
+    telemetry.Counter("triples." + ds.name,
+                      static_cast<double>(ds.graph.NumTriples()));
+    telemetry.Counter("shapes_extended_kb." + ds.name,
+                      ds.shapes_extended_bytes / 1024.0);
+    telemetry.Timing("annotate_ms." + ds.name, ds.annotate_ms);
   }
 
   // Thread-scaling of the whole preprocessing pipeline on the YAGO-style
@@ -164,5 +172,10 @@ int main() {
   }
   std::printf("\nstatistics identical across thread counts (digest %016llx)\n",
               static_cast<unsigned long long>(runs[0].digest));
+  telemetry.Digest("scaling.yago", runs[0].digest);
+  for (size_t i = 0; i < 3; ++i) {
+    telemetry.Timing("scaling.t" + std::to_string(thread_counts[i]) + ".total_ms",
+                     runs[i].TotalMs());
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "baselines/shex/shex_heuristic.h"
 #include "bench_common.h"
+#include "bench_telemetry.h"
 #include "exec/executor.h"
 #include "opt/join_order.h"
 #include "sparql/parser.h"
@@ -17,6 +18,7 @@
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("shex_vs_stats");
   std::printf("=== Related work: constraint inference (ShEx) vs statistics ===\n");
   bench::Dataset ds = bench::BuildLubm();
 

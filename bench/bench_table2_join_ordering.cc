@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_telemetry.h"
 #include "exec/executor.h"
 #include "rdf/vocab.h"
 #include "opt/join_order.h"
@@ -67,6 +68,7 @@ void PrintOrdering(const bench::Dataset& ds, bench::Approach approach,
 }  // namespace
 
 int main() {
+  bench::BenchTelemetry telemetry("table2_join_ordering");
   std::printf("=== Table 2: join ordering for example query Q on LUBM ===\n");
   bench::Dataset ds = bench::BuildLubm();
   std::printf("dataset: %s triples\n", WithCommas(ds.graph.NumTriples()).c_str());

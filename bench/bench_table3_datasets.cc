@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_telemetry.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("table3_datasets");
   std::printf("=== Table 3: size and characteristics of the datasets ===\n");
   std::printf("(scale models; the paper's full datasets are 91 M - 1 B triples)\n\n");
 

@@ -1,0 +1,54 @@
+// Machine-readable benchmark telemetry. Every bench binary declares one
+// BenchTelemetry at the top of main; printers and the binary itself record
+// named values into it, and the destructor writes
+// `$SHAPESTATS_BENCH_DIR/BENCH_<name>.json` when that variable is set
+// (creating the directory as needed). The file separates three kinds of
+// values so tools/bench_diff can gate each appropriately:
+//
+//  * digests  — 64-bit artifact/result hashes, compared exactly;
+//  * counters — deterministic quantities (triples, q-error percentiles,
+//               result counts), compared with a small relative tolerance;
+//  * timings  — wall times in ms, compared with a generous ratio gate.
+//
+// Constructing a BenchTelemetry also touches the global ChromeTracer and
+// EventLog, so SHAPESTATS_CHROME_TRACE / SHAPESTATS_EVENT_LOG activate in
+// bench binaries even when no engine is opened.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace shapestats::bench {
+
+class BenchTelemetry {
+ public:
+  explicit BenchTelemetry(std::string name);
+  ~BenchTelemetry();
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  void Counter(const std::string& name, double value);
+  void Timing(const std::string& name, double ms);
+  void Digest(const std::string& name, uint64_t fnv);
+
+  /// Renders the telemetry JSON (also includes the shared pool's activity
+  /// snapshot under "pool"). Stable key order (std::map).
+  std::string ToJson() const;
+
+  /// The instance declared by the running bench binary's main, or null.
+  /// Lets shared printers (bench_figures) record without plumbing.
+  static BenchTelemetry* Current();
+
+ private:
+  const std::string name_;
+  mutable util::Mutex mu_;
+  std::map<std::string, double> counters_ SHAPESTATS_GUARDED_BY(mu_);
+  std::map<std::string, double> timings_ SHAPESTATS_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> digests_ SHAPESTATS_GUARDED_BY(mu_);
+};
+
+}  // namespace shapestats::bench

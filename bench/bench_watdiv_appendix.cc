@@ -5,10 +5,12 @@
 #include <cstdio>
 
 #include "bench_figures.h"
+#include "bench_telemetry.h"
 
 using namespace shapestats;
 
 int main() {
+  bench::BenchTelemetry telemetry("watdiv_appendix");
   std::printf("=== Appendix: WatDiv (runtime, q-error, cost) ===\n");
   bench::Dataset ds = bench::BuildWatDiv();
   std::printf("\n--- query runtime in WATDIV-S ---\n");

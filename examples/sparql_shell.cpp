@@ -17,16 +17,22 @@
 //                        guaranteed-empty patterns, forced Cartesian products
 //   .audit               audit global + shape statistics consistency
 //   .metrics             dump the process-wide metrics registry
+//   .metrics reset       zero every counter and histogram
+//   .accuracy            q-error percentiles of every traced query so far,
+//                        keyed by optimizer / shape / stats source / join
+//   .trace <file>        write the last executed query's trace JSON to file
 //   .quit                exit
 //   anything else        executed as a SPARQL query (may span lines;
 //                        terminate with an empty line)
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "analysis/stats_audit.h"
 #include "datagen/lubm.h"
 #include "engine/query_engine.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "sparql/parser.h"
 #include "util/string_util.h"
@@ -111,6 +117,10 @@ int main(int argc, char** argv) {
   PrintStats(eng);
   std::printf("type .help for commands; SPARQL queries run directly\n");
 
+  // Trace of the most recent executed/analyzed query, for `.trace <file>`.
+  // Queries run with tracing on so `.accuracy` accumulates q-errors.
+  obs::QueryTrace last_trace;
+
   std::string line;
   std::printf("sparql> ");
   std::fflush(stdout);
@@ -125,12 +135,17 @@ int main(int argc, char** argv) {
     if (trimmed == ".help") {
       std::printf(
           ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
-          ".lint <query> | .audit | .metrics | .quit\n");
+          ".lint <query> | .audit | .metrics [reset] | .accuracy | "
+          ".trace <file> | .quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
     } else if (trimmed == ".audit") {
       auto diags = analysis::StatsAuditor().AuditAll(
           eng.global_stats(), eng.shapes(), &eng.graph().dict());
+      if (obs::EventLog::Global().active()) {
+        obs::EventLog::Global().Emit(
+            obs::Event("audit").Uint("findings", diags.size()));
+      }
       if (diags.empty()) {
         std::printf("statistics audit clean (global + %zu node shapes)\n",
                     eng.shapes().NumNodeShapes());
@@ -149,6 +164,26 @@ int main(int argc, char** argv) {
       }
     } else if (trimmed == ".metrics") {
       std::fputs(obs::MetricsRegistry::Global().ToText().c_str(), stdout);
+    } else if (trimmed == ".metrics reset") {
+      obs::MetricsRegistry::Global().ResetAll();
+      std::printf("metrics reset\n");
+    } else if (trimmed == ".accuracy") {
+      std::fputs(eng.accuracy_ledger().ToTable().c_str(), stdout);
+    } else if (StartsWith(trimmed, ".trace")) {
+      std::string path(Trim(trimmed.substr(6)));
+      if (path.empty()) {
+        std::printf("usage: .trace <file>\n");
+      } else if (last_trace.query.empty()) {
+        std::printf("no traced query yet — run a query or .analyze first\n");
+      } else {
+        std::ofstream out(path);
+        if (!out) {
+          std::printf("error: cannot open %s\n", path.c_str());
+        } else {
+          out << last_trace.ToJson() << "\n";
+          std::printf("wrote trace of last query to %s\n", path.c_str());
+        }
+      }
     } else if (StartsWith(trimmed, ".shapes")) {
       PrintShapes(eng, std::string(Trim(trimmed.substr(7))));
     } else if (StartsWith(trimmed, ".analyze")) {
@@ -156,6 +191,7 @@ int main(int argc, char** argv) {
       auto analyzed = eng.ExplainAnalyze(text);
       if (analyzed.ok()) {
         std::fputs(analyzed->text.c_str(), stdout);
+        last_trace = std::move(analyzed->trace);
       } else {
         std::printf("error: %s\n", analyzed.status().ToString().c_str());
       }
@@ -175,7 +211,9 @@ int main(int argc, char** argv) {
       if (lint.ok() && !lint->empty()) {
         std::fputs(analysis::ToText(*lint).c_str(), stdout);
       }
-      auto result = eng.Execute(text);
+      obs::QueryTrace trace;
+      auto result = eng.Execute(text, &trace);
+      if (result.ok()) last_trace = std::move(trace);
       if (result.ok()) {
         if (result->ask) {
           std::printf("%s (%.1f ms)\n", *result->ask ? "yes" : "no",

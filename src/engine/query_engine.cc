@@ -1,11 +1,15 @@
 #include "engine/query_engine.h"
 
+#include <atomic>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "analysis/plan_verify.h"
 #include "analysis/query_lint.h"
 #include "exec/executor.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "opt/join_order.h"
 #include "rdf/ntriples.h"
@@ -30,6 +34,8 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
   if (!graph.finalized()) {
     return Status::InvalidArgument("graph must be finalized before Open");
   }
+  Timer open_timer;
+  obs::TraceSpan open_span("engine", "open");
   QueryEngine engine;
   engine.state_ = std::make_unique<State>();
   State& st = *engine.state_;
@@ -37,7 +43,10 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
   st.graph = std::move(graph);
   util::ThreadPool* pool = options.pool;
   Timer phase;
-  st.gs = stats::GlobalStats::Compute(st.graph, pool);
+  {
+    obs::TraceSpan span("engine", "preprocess:global_stats");
+    st.gs = stats::GlobalStats::Compute(st.graph, pool);
+  }
   obs::MetricsRegistry::Global().Observe("engine.preprocess.global_stats_ms",
                                          phase.ElapsedMs());
 
@@ -49,7 +58,11 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
       if (shapes.ok()) {
         st.shapes = std::move(shapes).value();
         phase.Reset();
-        RETURN_NOT_OK(stats::AnnotateShapes(st.graph, &st.shapes, pool).status());
+        {
+          obs::TraceSpan span("engine", "preprocess:annotate_shapes");
+          RETURN_NOT_OK(
+              stats::AnnotateShapes(st.graph, &st.shapes, pool).status());
+        }
         obs::MetricsRegistry::Global().Observe("engine.preprocess.annotate_ms",
                                                phase.ElapsedMs());
         st.estimator = std::make_unique<card::CardinalityEstimator>(
@@ -67,16 +80,30 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
     case EngineOptions::Optimizer::kTextual:
       break;
   }
-  obs::PublishSharedPoolMetrics();
+  obs::PublishPoolMetrics(pool != nullptr ? *pool : util::ThreadPool::Shared());
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.active()) {
+    log.Emit(obs::Event("engine.open")
+                 .Str("optimizer", OptimizerName(options.optimizer))
+                 .Uint("triples", st.graph.NumTriples())
+                 .Uint("shapes", st.shapes.NumNodeShapes())
+                 .Num("ms", open_timer.ElapsedMs()));
+  }
   return engine;
 }
 
 Result<QueryEngine> QueryEngine::FromNTriplesFile(const std::string& path,
                                                   EngineOptions options) {
   rdf::Graph graph;
-  RETURN_NOT_OK(rdf::LoadNTriplesFile(path, &graph));
+  {
+    obs::TraceSpan span("engine", "preprocess:load");
+    RETURN_NOT_OK(rdf::LoadNTriplesFile(path, &graph));
+  }
   Timer phase;
-  graph.Finalize(options.pool);
+  {
+    obs::TraceSpan span("engine", "preprocess:finalize");
+    graph.Finalize(options.pool);
+  }
   obs::MetricsRegistry::Global().Observe("engine.preprocess.finalize_ms",
                                          phase.ElapsedMs());
   return Open(std::move(graph), options);
@@ -117,7 +144,76 @@ Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp,
 Result<analysis::Diagnostics> QueryEngine::Lint(std::string_view sparql) const {
   ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
   sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
-  return analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
+  analysis::Diagnostics diags =
+      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
+  obs::EventLog& log = obs::EventLog::Global();
+  if (!diags.empty() && log.active()) {
+    log.Emit(obs::Event("lint")
+                 .Uint("findings", diags.size())
+                 .Str("first_rule", diags.front().rule));
+  }
+  return diags;
+}
+
+void QueryEngine::FillStepTraces(const sparql::ParsedQuery& query,
+                                 const sparql::EncodedBgp& bgp,
+                                 const opt::Plan& plan,
+                                 const std::vector<card::EstimateDetail>& details,
+                                 const std::vector<uint64_t>& true_cards,
+                                 obs::QueryTrace* trace, bool record) const {
+  for (size_t k = 0; k < plan.order.size(); ++k) {
+    const uint32_t tp = plan.order[k];
+    obs::StepTrace step;
+    step.step = static_cast<uint32_t>(k + 1);
+    step.pattern = tp;
+    step.pattern_text = query.patterns[tp].ToString();
+    if (k == 0) {
+      step.join_type = "scan";
+    } else {
+      bool joins = false;
+      for (size_t j = 0; j < k && !joins; ++j) {
+        joins = sparql::Joinable(bgp.patterns[plan.order[j]],
+                                 bgp.patterns[plan.order[k]]);
+      }
+      step.join_type = joins ? "join" : "product";
+    }
+    if (tp < details.size()) {
+      step.source = details[tp].source;
+      step.formula = details[tp].formula;
+      step.tp_est = details[tp].est.card;
+    } else {
+      step.source = "textual";
+    }
+    step.est_card = k < plan.step_estimates.size() ? plan.step_estimates[k] : 0;
+    step.true_card = k < true_cards.size() ? true_cards[k] : 0;
+    step.q_error = state_->estimator != nullptr
+                       ? obs::QError(step.est_card,
+                                     static_cast<double>(step.true_card))
+                       : std::numeric_limits<double>::quiet_NaN();
+    if (k < trace->exec.step_rows_scanned.size()) {
+      step.rows_scanned = trace->exec.step_rows_scanned[k];
+      step.index_probes = trace->exec.step_probes[k];
+    }
+    trace->steps.push_back(std::move(step));
+  }
+  trace->true_total_cost =
+      std::accumulate(true_cards.begin(), true_cards.end(), uint64_t{0});
+  if (record) state_->ledger.Record(*trace);
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.active()) {
+    for (const obs::StepTrace& s : trace->steps) {
+      obs::Event ev("query.step");
+      ev.Str("optimizer", trace->optimizer)
+          .Str("query_shape", trace->query_shape)
+          .Uint("step", s.step)
+          .Str("source", s.source)
+          .Str("join_type", s.join_type)
+          .Num("est_card", s.est_card)
+          .Uint("true_card", s.true_card);
+      if (!std::isnan(s.q_error)) ev.Num("q_error", s.q_error);
+      log.Emit(std::move(ev));
+    }
+  }
 }
 
 Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
@@ -126,6 +222,8 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
       obs::MetricsRegistry::Global().GetCounter("engine.queries");
   static obs::Histogram* query_ms =
       obs::MetricsRegistry::Global().GetHistogram("engine.query_ms");
+  obs::EventLog& log = obs::EventLog::Global();
+  obs::TraceSpan span("engine", "query");
   Timer timer;
   Timer phase;
   ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
@@ -141,6 +239,11 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
   }
   QueryResult result;
   result.shape = sparql::ClassifyShape(bgp);
+  if (log.active()) {
+    log.Emit(obs::Event("query.start")
+                 .Str("query_shape", sparql::QueryShapeName(result.shape))
+                 .Uint("patterns", bgp.patterns.size()));
+  }
   ASSIGN_OR_RETURN(result.plan,
                    PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr));
   result.plan_ms = timer.ElapsedMs();
@@ -153,6 +256,30 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     trace->est_total_cost = result.plan.total_cost;
     eopts.trace = &trace->exec;
   }
+  if (log.active()) {
+    obs::Event ev("query.plan");
+    ev.Str("optimizer", result.plan.provider)
+        .Num("est_cost", result.plan.total_cost)
+        .Bool("cartesian", result.plan.has_cartesian);
+    std::string order;
+    for (uint32_t tp : result.plan.order) {
+      if (!order.empty()) order += ",";
+      order += std::to_string(tp);
+    }
+    ev.Str("order", order);
+    log.Emit(std::move(ev));
+  }
+  span.Arg("optimizer", result.plan.provider);
+  span.Arg("shape", sparql::QueryShapeName(result.shape));
+
+  // Per-pattern estimate provenance, needed to annotate step traces and
+  // feed the accuracy ledger. Only computed for traced executions.
+  std::vector<card::EstimateDetail> details;
+  if (trace != nullptr && state_->estimator != nullptr) {
+    details = state_->estimator->EstimateAllDetailed(bgp);
+    trace->AddPhase("estimate", phase.ElapsedMs());
+    phase.Reset();
+  }
 
   auto finish = [&](uint64_t num_results, bool timed_out) {
     result.total_ms = timer.ElapsedMs();
@@ -163,6 +290,21 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
       trace->num_results = num_results;
       trace->timed_out = timed_out;
       trace->total_ms = result.total_ms;
+      // ASK probes (LIMIT 1) and explicit LIMIT / timeout runs truncate
+      // execution, so their per-step counts are not true cardinalities —
+      // they get step annotations but stay out of the accuracy ledger.
+      bool exact = !query.is_ask && !query.limit.has_value() && !timed_out &&
+                   !trace->exec.step_rows_produced.empty();
+      FillStepTraces(query, bgp, result.plan, details,
+                     trace->exec.step_rows_produced, trace, exact);
+    }
+    if (log.active()) {
+      log.Emit(obs::Event("query.finish")
+                   .Str("optimizer", result.plan.provider)
+                   .Str("query_shape", sparql::QueryShapeName(result.shape))
+                   .Uint("results", num_results)
+                   .Bool("timed_out", timed_out)
+                   .Num("ms", result.total_ms));
     }
   };
 
@@ -212,13 +354,27 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
           ? *options.pool
           : (state_->options.pool != nullptr ? *state_->options.pool
                                              : util::ThreadPool::Shared());
+  // Process-unique id correlating this batch's events with its result slots.
+  static std::atomic<uint64_t> next_batch_id{1};
+  obs::EventLog& log = obs::EventLog::Global();
   BatchResult batch;
+  batch.batch_id = next_batch_id.fetch_add(1, std::memory_order_relaxed);
   batch.results.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     batch.results.emplace_back(Status::Internal("query not executed"));
   }
   if (options.collect_traces) batch.traces.resize(queries.size());
 
+  obs::TraceSpan span("engine", "batch");
+  span.Arg("queries", std::to_string(queries.size()));
+  span.Arg("pool", pool.label());
+  if (log.active()) {
+    log.Emit(obs::Event("batch.start")
+                 .Uint("batch_id", batch.batch_id)
+                 .Uint("queries", queries.size())
+                 .Str("pool", pool.label())
+                 .Uint("threads", pool.num_threads()));
+  }
   Timer timer;
   // Queries only read the finalized graph and the immutable statistics (the
   // estimator's shape cache is internally synchronized), so they fan out
@@ -228,15 +384,50 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
     obs::QueryTrace* trace =
         options.collect_traces ? &batch.traces[i] : nullptr;
     batch.results[i] = Execute(queries[i], trace);
+    if (log.active()) {
+      const Result<QueryResult>& r = batch.results[i];
+      obs::Event ev("batch.query");
+      ev.Uint("batch_id", batch.batch_id).Uint("slot", i).Bool("ok", r.ok());
+      if (r.ok()) {
+        uint64_t results = r->count ? *r->count
+                           : r->ask ? static_cast<uint64_t>(*r->ask)
+                                    : r->table.rows.size();
+        ev.Uint("results", results)
+            .Bool("timed_out", r->table.timed_out)
+            .Num("ms", r->total_ms);
+      } else {
+        ev.Str("error", r.status().ToString());
+      }
+      log.Emit(std::move(ev));
+    }
   });
   batch.wall_ms = timer.ElapsedMs();
+  size_t failures = 0;
   for (const Result<QueryResult>& r : batch.results) {
-    if (r.ok()) batch.sum_query_ms += r->total_ms;
+    if (r.ok()) {
+      batch.sum_query_ms += r->total_ms;
+    } else {
+      ++failures;
+    }
   }
   batches->Add();
   batch_queries->Add(queries.size());
   batch_ms->Observe(batch.wall_ms);
-  obs::PublishSharedPoolMetrics();
+  obs::PublishPoolMetrics(pool);
+  if (log.active()) {
+    util::ThreadPool::StatsSnapshot stats = pool.stats();
+    log.Emit(obs::Event("batch.finish")
+                 .Uint("batch_id", batch.batch_id)
+                 .Uint("queries", queries.size())
+                 .Uint("failures", failures)
+                 .Num("wall_ms", batch.wall_ms)
+                 .Num("sum_query_ms", batch.sum_query_ms));
+    log.Emit(obs::Event("pool")
+                 .Str("label", pool.label())
+                 .Uint("threads", stats.num_threads)
+                 .Uint("tasks_executed", stats.tasks_executed)
+                 .Uint("peak_queue_depth", stats.peak_queue_depth));
+  }
   return batch;
 }
 
@@ -315,32 +506,8 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   trace.AddPhase("execute", phase.ElapsedMs());
   trace.num_results = run.num_results;
   trace.timed_out = run.timed_out;
-  trace.true_total_cost = run.TrueCost();
-
-  for (size_t k = 0; k < plan.order.size(); ++k) {
-    const uint32_t tp = plan.order[k];
-    obs::StepTrace step;
-    step.step = static_cast<uint32_t>(k + 1);
-    step.pattern = tp;
-    step.pattern_text = query.patterns[tp].ToString();
-    if (tp < details.size()) {
-      step.source = details[tp].source;
-      step.formula = details[tp].formula;
-      step.tp_est = details[tp].est.card;
-    } else {
-      step.source = "textual";
-    }
-    step.est_card = k < plan.step_estimates.size() ? plan.step_estimates[k] : 0;
-    step.true_card = run.step_cards[k];
-    step.q_error = state_->estimator != nullptr
-                       ? obs::QError(step.est_card, static_cast<double>(step.true_card))
-                       : std::numeric_limits<double>::quiet_NaN();
-    if (k < trace.exec.step_rows_scanned.size()) {
-      step.rows_scanned = trace.exec.step_rows_scanned[k];
-      step.index_probes = trace.exec.step_probes[k];
-    }
-    trace.steps.push_back(std::move(step));
-  }
+  FillStepTraces(query, bgp, plan, details, run.step_cards, &trace,
+                 /*record=*/!run.timed_out);
 
   trace.total_ms = total.ElapsedMs();
   analyzes->Add();

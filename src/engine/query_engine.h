@@ -12,6 +12,7 @@
 #include "analysis/diagnostics.h"
 #include "card/estimator.h"
 #include "exec/select_executor.h"
+#include "obs/accuracy_ledger.h"
 #include "obs/trace.h"
 #include "opt/plan.h"
 #include "rdf/graph.h"
@@ -85,6 +86,10 @@ struct BatchOptions {
 struct BatchResult {
   std::vector<Result<QueryResult>> results;
   std::vector<obs::QueryTrace> traces;  // empty unless collect_traces
+  /// Process-unique id stamped on every event this batch emits into the
+  /// obs::EventLog, so a batch's events can be correlated slot-for-slot
+  /// with `results` even when several batches interleave.
+  uint64_t batch_id = 0;
   double wall_ms = 0;        // end-to-end batch wall time
   double sum_query_ms = 0;   // sum of per-query times (sequential-equivalent)
 };
@@ -140,6 +145,14 @@ class QueryEngine {
   const shacl::ShapesGraph& shapes() const { return state_->shapes; }
   const EngineOptions& options() const { return state_->options; }
 
+  /// Workload q-error ledger: every traced execution (Execute with a trace,
+  /// ExecuteBatch with collect_traces, ExplainAnalyze) of an exact query
+  /// (no ASK / LIMIT / timeout truncating the true cardinalities) records
+  /// its per-step q-errors here, keyed by optimizer, query shape,
+  /// statistics source, and join type. Rendered by the shell's `.accuracy`.
+  const obs::AccuracyLedger& accuracy_ledger() const { return state_->ledger; }
+  void ResetAccuracyLedger() const { state_->ledger.Reset(); }
+
  private:
   struct State {
     rdf::Graph graph;
@@ -147,12 +160,25 @@ class QueryEngine {
     shacl::ShapesGraph shapes;
     std::unique_ptr<card::CardinalityEstimator> estimator;
     EngineOptions options;
+    // Mutated from const query paths; AccuracyLedger is internally
+    // synchronized, and unique_ptr does not propagate const.
+    obs::AccuracyLedger ledger;
   };
 
   QueryEngine() = default;
 
   Result<opt::Plan> PlanQuery(const sparql::EncodedBgp& bgp,
                               obs::PlannerTrace* trace = nullptr) const;
+
+  /// Builds trace->steps from the plan, the per-pattern estimate details,
+  /// and the executor's measured per-step cardinalities (also classifying
+  /// each step's join type), then records the steps into the ledger when
+  /// `record` is set and emits per-step events.
+  void FillStepTraces(const sparql::ParsedQuery& query,
+                      const sparql::EncodedBgp& bgp, const opt::Plan& plan,
+                      const std::vector<card::EstimateDetail>& details,
+                      const std::vector<uint64_t>& true_cards,
+                      obs::QueryTrace* trace, bool record) const;
 
   std::unique_ptr<State> state_;
 };

@@ -38,6 +38,7 @@ class Evaluator {
     if (trace_ != nullptr) {
       trace_->step_probes.assign(order.size(), 0);
       trace_->step_rows_scanned.assign(order.size(), 0);
+      trace_->step_rows_produced.assign(order.size(), 0);
       trace_->total_probes = 0;
       trace_->total_rows_scanned = 0;
     }
@@ -137,6 +138,7 @@ class Evaluator {
       if (vo) bindings_[*vo] = t.o;
 
       ++result_.step_cards[depth];
+      if (trace_ != nullptr) ++trace_->step_rows_produced[depth];
       ++rows_produced_;
       if (Aborted(timer)) {
         ClearVars(vs, vp, vo);

@@ -94,6 +94,7 @@ class SelectEvaluator {
     if (trace_ != nullptr) {
       trace_->step_probes.assign(order.size(), 0);
       trace_->step_rows_scanned.assign(order.size(), 0);
+      trace_->step_rows_produced.assign(order.size(), 0);
       trace_->total_probes = 0;
       trace_->total_rows_scanned = 0;
     }
@@ -266,6 +267,7 @@ class SelectEvaluator {
       if (vo) bindings_[*vo] = t.o;
 
       ++rows_produced_;
+      if (trace_ != nullptr) ++trace_->step_rows_produced[depth];
       if (options_.max_intermediate_rows &&
           rows_produced_ > options_.max_intermediate_rows) {
         table_.timed_out = true;

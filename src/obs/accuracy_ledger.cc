@@ -1,0 +1,158 @@
+#include "obs/accuracy_ledger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/table_printer.h"
+
+namespace shapestats::obs {
+
+namespace {
+
+std::string FmtQ(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+AccuracySummary Summarize(std::vector<double> samples) {
+  AccuracySummary s;
+  if (samples.empty()) return s;
+  s.steps = samples.size();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  s.p50 = ExactPercentile(samples, 50);
+  s.p90 = ExactPercentile(samples, 90);
+  s.p95 = ExactPercentile(samples, 95);
+  s.p99 = ExactPercentile(samples, 99);
+  s.max = samples.back();
+  return s;
+}
+
+}  // namespace
+
+double ExactPercentile(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0) return samples.front();
+  if (p >= 100) return samples.back();
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+void AccuracyLedger::Record(const QueryTrace& trace) {
+  util::MutexLock lock(mu_);
+  ++queries_;
+  for (const StepTrace& step : trace.steps) {
+    if (!std::isfinite(step.q_error) || step.q_error <= 0) continue;
+    AccuracyKey key{trace.optimizer, trace.query_shape, step.source,
+                    step.join_type.empty() ? "join" : step.join_type};
+    samples_[key].push_back(step.q_error);
+    ++steps_;
+  }
+}
+
+void AccuracyLedger::RecordStep(const AccuracyKey& key, double q_error) {
+  if (!std::isfinite(q_error) || q_error <= 0) return;
+  util::MutexLock lock(mu_);
+  samples_[key].push_back(q_error);
+  ++steps_;
+}
+
+uint64_t AccuracyLedger::num_queries() const {
+  util::MutexLock lock(mu_);
+  return queries_;
+}
+
+uint64_t AccuracyLedger::num_steps() const {
+  util::MutexLock lock(mu_);
+  return steps_;
+}
+
+std::vector<AccuracyLedger::Row> AccuracyLedger::Snapshot() const {
+  std::map<AccuracyKey, std::vector<double>> samples;
+  {
+    util::MutexLock lock(mu_);
+    samples = samples_;
+  }
+  std::vector<Row> rows;
+  rows.reserve(samples.size());
+  std::map<std::string, std::vector<double>> rollup;
+  for (auto& [key, values] : samples) {
+    auto& all = rollup[key.optimizer];
+    all.insert(all.end(), values.begin(), values.end());
+    rows.push_back({key, Summarize(std::move(values))});
+  }
+  for (auto& [optimizer, values] : rollup) {
+    rows.push_back({AccuracyKey{optimizer, "*", "*", "*"},
+                    Summarize(std::move(values))});
+  }
+  return rows;
+}
+
+double AccuracyLedger::Percentile(const AccuracyKey& key, double p) const {
+  std::vector<double> values;
+  {
+    util::MutexLock lock(mu_);
+    auto it = samples_.find(key);
+    if (it == samples_.end()) return 0;
+    values = it->second;
+  }
+  return ExactPercentile(values, p);
+}
+
+std::string AccuracyLedger::ToTable() const {
+  std::vector<Row> rows = Snapshot();
+  if (rows.empty()) return "accuracy ledger: no recorded q-errors\n";
+  TablePrinter printer({"optimizer", "shape", "stats", "join", "steps",
+                              "mean", "p50", "p90", "p95", "p99", "max"});
+  for (const Row& row : rows) {
+    printer.AddRow({row.key.optimizer, row.key.query_shape, row.key.source,
+                    row.key.join_type, std::to_string(row.summary.steps),
+                    FmtQ(row.summary.mean), FmtQ(row.summary.p50),
+                    FmtQ(row.summary.p90), FmtQ(row.summary.p95),
+                    FmtQ(row.summary.p99), FmtQ(row.summary.max)});
+  }
+  std::string out = printer.Render();
+  out += "q-errors from " + std::to_string(num_queries()) + " traced queries, " +
+         std::to_string(num_steps()) + " join steps; '*' rows aggregate one optimizer\n";
+  return out;
+}
+
+std::string AccuracyLedger::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const Row& row : Snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"optimizer\":\"" + JsonEscape(row.key.optimizer) +
+           "\",\"query_shape\":\"" + JsonEscape(row.key.query_shape) +
+           "\",\"source\":\"" + JsonEscape(row.key.source) +
+           "\",\"join_type\":\"" + JsonEscape(row.key.join_type) +
+           "\",\"steps\":" + std::to_string(row.summary.steps) +
+           ",\"mean\":" + FmtQ(row.summary.mean) +
+           ",\"p50\":" + FmtQ(row.summary.p50) +
+           ",\"p90\":" + FmtQ(row.summary.p90) +
+           ",\"p95\":" + FmtQ(row.summary.p95) +
+           ",\"p99\":" + FmtQ(row.summary.p99) +
+           ",\"max\":" + FmtQ(row.summary.max) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+void AccuracyLedger::Reset() {
+  util::MutexLock lock(mu_);
+  samples_.clear();
+  queries_ = 0;
+  steps_ = 0;
+}
+
+}  // namespace shapestats::obs

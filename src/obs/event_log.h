@@ -1,0 +1,121 @@
+// Structured workload event log: a thread-safe, bounded ring of typed
+// events (query start/finish, plan chosen, per-step q-error, batch
+// summaries, pool activity, lint/audit findings) with two sinks — a JSONL
+// file (one JSON object per line, opened from the SHAPESTATS_EVENT_LOG
+// environment variable or programmatically) and in-process subscribers.
+// Emission is opt-in: with no file, no subscribers and no explicit
+// Enable(), Emit() is a single relaxed atomic load, so the engine can emit
+// unconditionally from its hot paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace shapestats::obs {
+
+/// One structured event: a type tag, timestamp + thread id (stamped by
+/// EventLog::Emit when left at defaults), and an ordered list of flat
+/// key/value fields. Values are stored pre-rendered as JSON tokens so an
+/// event is cheap to serialize and immutable once emitted.
+class Event {
+ public:
+  explicit Event(std::string type) : type_(std::move(type)) {}
+
+  /// Field setters return *this so events build fluently:
+  ///   Event("query.finish").Str("optimizer", "SS").Num("ms", 1.2)
+  Event& Str(std::string key, const std::string& value);
+  Event& Num(std::string key, double value);
+  Event& Uint(std::string key, uint64_t value);
+  Event& Bool(std::string key, bool value);
+
+  const std::string& type() const { return type_; }
+  double ts_ms() const { return ts_ms_; }
+  uint32_t tid() const { return tid_; }
+  /// Raw JSON token of a field ("" when absent; string values include the
+  /// surrounding quotes). Test/subscriber convenience.
+  std::string FieldJson(const std::string& key) const;
+
+  /// {"ts_ms":..,"tid":..,"type":"..","<key>":<value>,...} — one line, no
+  /// trailing newline.
+  std::string ToJson() const;
+
+ private:
+  friend class EventLog;
+  std::string type_;
+  double ts_ms_ = -1;   // stamped by Emit when negative
+  uint32_t tid_ = 0;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON token
+};
+
+/// Thread-safe bounded event sink. One process-wide instance
+/// (EventLog::Global()) collects the engine's built-in emissions; tests
+/// and embedders can also construct private instances.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+
+  /// True when some sink would observe an emission (file, subscriber, or
+  /// explicit Enable). Fast: one relaxed load — emit sites should check
+  /// this before building an Event.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Retain events in the ring even without a file or subscribers.
+  void SetEnabled(bool enabled);
+
+  /// Appends to the ring (dropping the oldest event when full), writes one
+  /// JSONL line to the file sink if open, and invokes subscribers (outside
+  /// the buffer lock; subscribers must not re-enter this EventLog).
+  /// No-op when !active().
+  void Emit(Event event);
+
+  using Subscriber = std::function<void(const Event&)>;
+  /// Registers a callback invoked for every subsequent emission. Returns a
+  /// token for Unsubscribe.
+  uint64_t Subscribe(Subscriber fn);
+  void Unsubscribe(uint64_t token);
+
+  /// Opens (appends to) a JSONL file sink; closes any previous one.
+  Status OpenFile(const std::string& path);
+  void CloseFile();
+
+  /// Ring contents, oldest first.
+  std::vector<Event> Snapshot() const;
+  /// Ring contents rendered as JSONL.
+  std::string ToJsonl() const;
+  void Clear();
+
+  uint64_t total_emitted() const { return total_emitted_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Process-wide log. On first use, opens the file named by the
+  /// SHAPESTATS_EVENT_LOG environment variable (if set).
+  static EventLog& Global();
+
+ private:
+  void RecomputeActive() SHAPESTATS_REQUIRES(mu_);
+
+  const size_t capacity_;
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> total_emitted_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable util::Mutex mu_;
+  std::deque<Event> ring_ SHAPESTATS_GUARDED_BY(mu_);
+  std::ofstream file_ SHAPESTATS_GUARDED_BY(mu_);
+  bool file_open_ SHAPESTATS_GUARDED_BY(mu_) = false;
+  bool enabled_ SHAPESTATS_GUARDED_BY(mu_) = false;
+  uint64_t next_token_ SHAPESTATS_GUARDED_BY(mu_) = 1;
+  std::vector<std::pair<uint64_t, Subscriber>> subscribers_ SHAPESTATS_GUARDED_BY(mu_);
+};
+
+}  // namespace shapestats::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -54,6 +55,33 @@ void Histogram::Reset() {
 Histogram::Snapshot Histogram::Snap() const {
   util::MutexLock lock(mu_);
   return data_;
+}
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the target sample (1-based, midpoint convention) among `count`
+  // observations, then linear interpolation inside the covering bucket.
+  double target = p / 100.0 * static_cast<double>(count);
+  if (target < 1) target = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(cum + buckets[i]) >= target) {
+      double lo = BucketLow(i);
+      // The overflow bucket has no power-of-two upper edge; the observed
+      // max bounds every bucket anyway.
+      double hi = (i + 1 < kNumBuckets) ? BucketLow(i + 1) : max;
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (hi < lo) hi = lo;
+      double frac = (target - static_cast<double>(cum)) /
+                    static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    cum += buckets[i];
+  }
+  return max;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
@@ -143,7 +171,10 @@ std::string MetricsSnapshot::ToJson() const {
            "\",\"count\":" + std::to_string(h.snap.count) +
            ",\"sum\":" + FmtDouble(h.snap.sum) +
            ",\"min\":" + FmtDouble(h.snap.min) +
-           ",\"max\":" + FmtDouble(h.snap.max) + ",\"buckets\":[";
+           ",\"max\":" + FmtDouble(h.snap.max) +
+           ",\"p50\":" + FmtDouble(h.snap.Percentile(50)) +
+           ",\"p95\":" + FmtDouble(h.snap.Percentile(95)) +
+           ",\"p99\":" + FmtDouble(h.snap.Percentile(99)) + ",\"buckets\":[";
     bool first = true;
     for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
       if (h.snap.buckets[b] == 0) continue;
@@ -168,10 +199,14 @@ std::string MetricsSnapshot::ToText() const {
     out += printer.Render();
   }
   if (!histograms.empty()) {
-    TablePrinter printer({"histogram", "count", "mean", "min", "max"});
+    TablePrinter printer(
+        {"histogram", "count", "mean", "p50", "p95", "p99", "min", "max"});
     for (const auto& h : histograms) {
       printer.AddRow({h.name, WithCommas(h.snap.count), FmtDouble(h.snap.Mean()),
-                      FmtDouble(h.snap.min), FmtDouble(h.snap.max)});
+                      FmtDouble(h.snap.Percentile(50)),
+                      FmtDouble(h.snap.Percentile(95)),
+                      FmtDouble(h.snap.Percentile(99)), FmtDouble(h.snap.min),
+                      FmtDouble(h.snap.max)});
     }
     out += printer.Render();
   }
@@ -179,30 +214,43 @@ std::string MetricsSnapshot::ToText() const {
   return out;
 }
 
-void PublishSharedPoolMetrics() {
-  util::ThreadPool::StatsSnapshot snap = util::ThreadPool::Shared().stats();
+void PublishPoolMetrics(const util::ThreadPool& pool) {
+  util::ThreadPool::StatsSnapshot snap = pool.stats();
   MetricsRegistry& reg = MetricsRegistry::Global();
-  // The pool's totals are monotonic, so the registry counters mirror them
-  // by adding the delta since the last publish. Guarded so concurrent
-  // publishers cannot double-count a delta.
+  // The shared pool keeps the legacy unprefixed metric names; custom pools
+  // publish under their label so several pools stay distinguishable.
+  std::string prefix = (&pool == &util::ThreadPool::Shared())
+                           ? "pool."
+                           : "pool." + pool.label() + ".";
+  // Pool totals are monotonic, so the registry counters mirror them by
+  // adding the delta since the last publish. The per-label bookkeeping is
+  // mutex-guarded so concurrent publishers cannot double-count a delta.
+  struct Last {
+    uint64_t tasks = 0;
+    uint64_t peak = 0;
+    bool threads_published = false;
+  };
   static util::Mutex mu;
-  static uint64_t last_tasks SHAPESTATS_GUARDED_BY(mu) = 0;
-  static uint64_t last_peak SHAPESTATS_GUARDED_BY(mu) = 0;
-  static bool threads_published SHAPESTATS_GUARDED_BY(mu) = false;
+  static std::map<std::string, Last>* last_by_label
+      SHAPESTATS_GUARDED_BY(mu) = new std::map<std::string, Last>();
   util::MutexLock lock(mu);
-  if (snap.tasks_executed > last_tasks) {
-    reg.GetCounter("pool.tasks_executed")->Add(snap.tasks_executed - last_tasks);
-    last_tasks = snap.tasks_executed;
+  Last& last = (*last_by_label)[prefix];
+  if (snap.tasks_executed > last.tasks) {
+    reg.GetCounter(prefix + "tasks_executed")
+        ->Add(snap.tasks_executed - last.tasks);
+    last.tasks = snap.tasks_executed;
   }
-  if (snap.peak_queue_depth > last_peak) {
-    reg.GetCounter("pool.peak_queue_depth")
-        ->Add(snap.peak_queue_depth - last_peak);
-    last_peak = snap.peak_queue_depth;
+  if (snap.peak_queue_depth > last.peak) {
+    reg.GetCounter(prefix + "peak_queue_depth")
+        ->Add(snap.peak_queue_depth - last.peak);
+    last.peak = snap.peak_queue_depth;
   }
-  if (!threads_published) {
-    reg.GetCounter("pool.threads")->Add(snap.num_threads);
-    threads_published = true;
+  if (!last.threads_published) {
+    reg.GetCounter(prefix + "threads")->Add(snap.num_threads);
+    last.threads_published = true;
   }
 }
+
+void PublishSharedPoolMetrics() { PublishPoolMetrics(util::ThreadPool::Shared()); }
 
 }  // namespace shapestats::obs

@@ -15,6 +15,10 @@
 
 #include "util/thread_annotations.h"
 
+namespace shapestats::util {
+class ThreadPool;
+}  // namespace shapestats::util
+
 namespace shapestats::obs {
 
 /// Monotonic event counter. Lock-free; safe to share across threads.
@@ -51,6 +55,11 @@ class Histogram {
     double max = 0;
     std::array<uint64_t, kNumBuckets> buckets{};
     double Mean() const { return count ? sum / static_cast<double>(count) : 0; }
+    /// Estimated percentile (p in [0,100]) by linear interpolation within
+    /// the log-scale bucket holding the target rank, clamped to the
+    /// observed [min, max]. Exact for the extremes; within one power of
+    /// two otherwise. Returns 0 when the histogram is empty.
+    double Percentile(double p) const;
   };
   Snapshot Snap() const;
 
@@ -124,5 +133,12 @@ std::string JsonEscape(const std::string& s);
 /// `pool.threads`. Called by the engine after preprocessing and after every
 /// batch, so `.metrics` always reflects recent pool activity.
 void PublishSharedPoolMetrics();
+
+/// Publishes one pool's activity counters into the global registry. The
+/// shared pool keeps its legacy unprefixed names (`pool.tasks_executed`,
+/// ...); every other pool publishes under `pool.<label>.*` so custom
+/// engine::EngineOptions::pool instances are observable side by side.
+/// Deltas are tracked per label, so repeated publishes stay monotonic.
+void PublishPoolMetrics(const util::ThreadPool& pool);
 
 }  // namespace shapestats::obs

@@ -1,0 +1,36 @@
+#include "obs/process_clock.h"
+
+#include <atomic>
+
+namespace shapestats::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point Epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double ToMonotonicUs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration<double, std::micro>(tp - Epoch()).count();
+}
+
+double MonotonicUs() {
+  // Anchor before sampling: on the very first call the epoch must not be
+  // captured after the sample, or the result would be slightly negative.
+  Epoch();
+  return ToMonotonicUs(std::chrono::steady_clock::now());
+}
+
+double MonotonicMs() { return MonotonicUs() / 1000.0; }
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace shapestats::obs

@@ -1,0 +1,29 @@
+// Shared timebase for the telemetry sinks: a monotonic clock anchored at
+// the first use in the process (so every exporter agrees on "time zero"),
+// and stable small per-thread ids assigned in first-use order (Chrome
+// trace `tid`s and EventLog `tid` fields must be small and stable, not
+// opaque pthread handles).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace shapestats::obs {
+
+/// Monotonic microseconds since the process timebase (first use of any
+/// obs clock function). All telemetry timestamps share this epoch.
+double MonotonicUs();
+
+/// Monotonic milliseconds since the process timebase.
+double MonotonicMs();
+
+/// Converts an arbitrary steady_clock time point to microseconds on the
+/// shared timebase (used by the thread-pool task hook, which captures raw
+/// time points on the worker threads).
+double ToMonotonicUs(std::chrono::steady_clock::time_point tp);
+
+/// Stable small id for the calling thread: 0 for the first thread that
+/// asks, 1 for the second, and so on. Never reused within a process.
+uint32_t CurrentThreadId();
+
+}  // namespace shapestats::obs

@@ -77,6 +77,7 @@ std::string QueryTrace::ToJson() const {
            ",\"pattern_text\":\"" + JsonEscape(s.pattern_text) + "\"" +
            ",\"source\":\"" + JsonEscape(s.source) + "\"" +
            ",\"formula\":\"" + JsonEscape(s.formula) + "\"" +
+           ",\"join_type\":\"" + JsonEscape(s.join_type) + "\"" +
            ",\"tp_est\":" + tp + ",\"est_card\":" + est +
            ",\"true_card\":" + std::to_string(s.true_card) +
            ",\"q_error\":" + q +

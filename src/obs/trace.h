@@ -35,6 +35,11 @@ struct PlannerTrace {
 struct ExecTrace {
   std::vector<uint64_t> step_probes;        // index lookups per step
   std::vector<uint64_t> step_rows_scanned;  // triples iterated per step
+  /// Bindings produced per step — the true intermediate-result cardinality
+  /// the q-error compares against. Filled by both the ASK/COUNT executor
+  /// and the SELECT executor, so any traced execution can feed the
+  /// AccuracyLedger without a separate counting run.
+  std::vector<uint64_t> step_rows_produced;
   uint64_t total_probes = 0;
   uint64_t total_rows_scanned = 0;
 };
@@ -47,6 +52,7 @@ struct StepTrace {
   std::string pattern_text;  // pretty-printed triple pattern
   std::string source;        // statistics source: "shape" | "global" | "textual"
   std::string formula;       // Table-1 case that produced the TP estimate
+  std::string join_type;     // "scan" (first step) | "join" | "product"
   double tp_est = 0;         // per-pattern estimated cardinality
   double est_card = 0;       // estimated cardinality after this join step
   uint64_t true_card = 0;    // executor-measured cardinality (step_cards)

@@ -13,10 +13,22 @@ void RaiseAtomicMax(std::atomic<uint64_t>& target, uint64_t value) {
   }
 }
 
+std::string AutoLabel(std::string label) {
+  if (!label.empty()) return label;
+  static std::atomic<uint64_t> counter{0};
+  return "pool-" + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads)
-    : num_threads_(std::max(1u, threads)) {
+std::atomic<ThreadPool::TaskTimingHook> ThreadPool::timing_hook_{nullptr};
+
+void ThreadPool::SetTaskTimingHook(TaskTimingHook hook) {
+  timing_hook_.store(hook, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(unsigned threads, std::string label)
+    : num_threads_(std::max(1u, threads)), label_(AutoLabel(std::move(label))) {
   workers_.reserve(num_threads_ - 1);
   for (unsigned i = 0; i + 1 < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -43,15 +55,13 @@ void ThreadPool::WorkerLoop() {
     task = std::move(queue_.front());
     queue_.pop_front();
     mu_.Unlock();
-    task();
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    RunTimed(task, "task");
   }
 }
 
 void ThreadPool::Submit(std::function<void()> fn) {
   if (workers_.empty()) {
-    fn();
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    RunTimed(fn, "task");
     return;
   }
   size_t depth;
@@ -84,8 +94,7 @@ void ThreadPool::RunChunks(const std::shared_ptr<ForState>& state) {
     if (c >= state->num_chunks) return;
     size_t lo = state->begin + c * state->count / state->num_chunks;
     size_t hi = state->begin + (c + 1) * state->count / state->num_chunks;
-    (*state->body)(lo, hi);
-    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    RunTimed([&] { (*state->body)(lo, hi); }, "chunk");
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->num_chunks) {
       // Fence against the waiter: once it holds mu and re-checks `done`, a
@@ -156,7 +165,7 @@ unsigned ThreadPool::DefaultThreads() {
 ThreadPool& ThreadPool::Shared() {
   // Leaked on purpose: workers must never be joined during static
   // destruction of unrelated globals.
-  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  static ThreadPool* pool = new ThreadPool(DefaultThreads(), "shared");
   return *pool;
 }
 

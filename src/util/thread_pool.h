@@ -22,11 +22,13 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -37,8 +39,10 @@ namespace shapestats::util {
 class ThreadPool {
  public:
   /// `threads` is the total parallelism, caller included; values <= 1 mean
-  /// fully sequential (no worker threads are spawned).
-  explicit ThreadPool(unsigned threads);
+  /// fully sequential (no worker threads are spawned). `label` names the
+  /// pool in metrics and traces; empty picks "pool-N" from a process-wide
+  /// counter.
+  explicit ThreadPool(unsigned threads, std::string label = "");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -46,6 +50,10 @@ class ThreadPool {
 
   /// Total parallelism (callers of ParallelFor count as one).
   unsigned num_threads() const { return num_threads_; }
+
+  /// Stable name used in metrics (`pool.<label>.*`) and trace timelines.
+  /// The shared pool is labeled "shared".
+  const std::string& label() const { return label_; }
 
   /// True when the pool runs everything inline on the calling thread.
   bool sequential() const { return workers_.empty(); }
@@ -81,13 +89,44 @@ class ThreadPool {
   /// Process-wide pool of DefaultThreads() threads. Never destroyed.
   static ThreadPool& Shared();
 
+  /// Observation hook invoked after every executed task ("task") or
+  /// ParallelFor chunk ("chunk") with the wall-clock interval the work ran
+  /// in, on the thread that ran it. A single process-wide raw function
+  /// pointer (not std::function) so installation is race-free via an atomic
+  /// store and the uninstalled cost is one relaxed load per task. util must
+  /// not depend on obs, so obs::InstallPoolTraceHook() injects the Chrome
+  /// tracer through this seam.
+  using TaskTimingHook = void (*)(const ThreadPool& pool, const char* kind,
+                                  std::chrono::steady_clock::time_point start,
+                                  std::chrono::steady_clock::time_point end);
+  static void SetTaskTimingHook(TaskTimingHook hook);
+
  private:
   struct ForState;
 
   void WorkerLoop();
   void RunChunks(const std::shared_ptr<ForState>& state);
 
+  /// Runs `fn()` and reports it to the timing hook (if installed) and the
+  /// task counter. Templated so ParallelFor chunks avoid a std::function
+  /// allocation per chunk.
+  template <typename Fn>
+  void RunTimed(const Fn& fn, const char* kind) {
+    TaskTimingHook hook = timing_hook_.load(std::memory_order_relaxed);
+    if (hook == nullptr) {
+      fn();
+    } else {
+      auto start = std::chrono::steady_clock::now();
+      fn();
+      hook(*this, kind, start, std::chrono::steady_clock::now());
+    }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static std::atomic<TaskTimingHook> timing_hook_;
+
   const unsigned num_threads_;
+  const std::string label_;
   mutable Mutex mu_;
   std::condition_variable_any cv_;  // signalled with mu_ held
   std::deque<std::function<void()>> queue_ SHAPESTATS_GUARDED_BY(mu_);

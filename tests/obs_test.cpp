@@ -4,16 +4,24 @@
 // step_cards, and the probe-based timeout granularity fix.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "datagen/lubm.h"
 #include "engine/query_engine.h"
 #include "exec/executor.h"
+#include "obs/accuracy_ledger.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdf/turtle.h"
 #include "sparql/parser.h"
+#include "util/thread_pool.h"
 #include "workload/queries.h"
 
 namespace shapestats {
@@ -369,6 +377,459 @@ TEST(ExecuteTrace, ThreadedThroughSelectPath) {
   EXPECT_EQ(trace.num_results, result->table.rows.size());
   EXPECT_GT(trace.exec.total_probes, 0u);
   EXPECT_GT(trace.planner.candidates_considered, 0u);
+}
+
+// --- histogram percentiles -------------------------------------------------
+
+TEST(HistogramPercentile, EmptyAndSingleValue) {
+  obs::Histogram h;
+  EXPECT_DOUBLE_EQ(h.Snap().Percentile(50), 0.0);
+
+  h.Observe(7);
+  obs::Histogram::Snapshot s = h.Snap();
+  // One sample: every percentile collapses to it (bucket edges are clamped
+  // to the observed [min, max]).
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(HistogramPercentile, UniformSamplesInterpolateWithinBucket) {
+  obs::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  obs::Histogram::Snapshot s = h.Snap();
+
+  // p50: 31 samples land below bucket [32,64) (1; 2-3; 4-7; 8-15; 16-31),
+  // which holds 32 samples, so rank 50 interpolates to 32 + 19/32*32 = 51.
+  EXPECT_NEAR(s.Percentile(50), 51.0, 1e-9);
+  // Tail percentiles stay inside the [64, max=100] bucket.
+  double p95 = s.Percentile(95);
+  double p99 = s.Percentile(99);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 100.0);
+  EXPECT_GE(p99, p95);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(s.Percentile(100), 100.0);
+  EXPECT_LE(s.Percentile(50), p95);
+}
+
+TEST(HistogramPercentile, OverflowBucketIsBoundedByObservedRange) {
+  obs::Histogram h;
+  h.Observe(1e30);
+  h.Observe(2e30);
+  obs::Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(obs::Histogram::BucketIndex(1e30), 63u);  // overflow bucket
+  // The overflow bucket has no power-of-two upper edge; [min, max] bounds it.
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 2e30);
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 1.5e30);  // rank clamps to 1 -> frac 1/2
+}
+
+TEST(HistogramPercentile, ExportedInJsonAndText) {
+  obs::MetricsRegistry reg;
+  for (int i = 0; i < 8; ++i) reg.GetHistogram("lat")->Observe(3);
+  std::string json = reg.ToJson();
+  EXPECT_EQ(std::stod(JsonField(json, "p50", "\"lat\"")), 3.0);
+  EXPECT_EQ(std::stod(JsonField(json, "p95", "\"lat\"")), 3.0);
+  EXPECT_EQ(std::stod(JsonField(json, "p99", "\"lat\"")), 3.0);
+  std::string text = reg.ToText();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+// --- event log -------------------------------------------------------------
+
+TEST(EventLogTest, InactiveEmitIsNoOp) {
+  obs::EventLog log;
+  EXPECT_FALSE(log.active());
+  log.Emit(obs::Event("ignored"));
+  EXPECT_EQ(log.total_emitted(), 0u);
+  EXPECT_TRUE(log.Snapshot().empty());
+
+  log.SetEnabled(true);
+  EXPECT_TRUE(log.active());
+  log.Emit(obs::Event("kept").Uint("n", 3));
+  EXPECT_EQ(log.total_emitted(), 1u);
+  std::vector<obs::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].type(), "kept");
+  EXPECT_EQ(events[0].FieldJson("n"), "3");
+  EXPECT_GE(events[0].ts_ms(), 0.0);  // stamped by Emit
+}
+
+TEST(EventLogTest, RingDropsOldestWhenFull) {
+  obs::EventLog log(/*capacity=*/4);
+  log.SetEnabled(true);
+  for (uint64_t i = 0; i < 10; ++i) {
+    log.Emit(obs::Event("e").Uint("i", i));
+  }
+  EXPECT_EQ(log.total_emitted(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  std::vector<obs::Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().FieldJson("i"), "6");  // oldest retained
+  EXPECT_EQ(events.back().FieldJson("i"), "9");
+
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(EventLogTest, SubscribersReceiveUntilUnsubscribed) {
+  obs::EventLog log;
+  std::vector<std::string> seen;
+  uint64_t token = log.Subscribe(
+      [&seen](const obs::Event& e) { seen.push_back(e.type()); });
+  EXPECT_TRUE(log.active());  // a subscriber is a sink
+  log.Emit(obs::Event("one"));
+  log.Emit(obs::Event("two"));
+  log.Unsubscribe(token);
+  EXPECT_FALSE(log.active());
+  log.Emit(obs::Event("three"));  // dropped: no sink remains
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "one");
+  EXPECT_EQ(seen[1], "two");
+  EXPECT_EQ(log.total_emitted(), 2u);
+}
+
+TEST(EventLogTest, FileSinkWritesOneJsonObjectPerLine) {
+  std::string path = testing::TempDir() + "/shapestats_events_test.jsonl";
+  std::remove(path.c_str());
+  {
+    obs::EventLog log;
+    ASSERT_TRUE(log.OpenFile(path).ok());
+    EXPECT_TRUE(log.active());
+    log.Emit(obs::Event("alpha").Uint("n", 1).Num("ms", 2.5));
+    log.Emit(obs::Event("beta").Str("s", "say \"hi\"").Bool("ok", true));
+    log.CloseFile();
+    EXPECT_FALSE(log.active());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line1, line2, extra;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line1)));
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line2)));
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+
+  EXPECT_EQ(line1.rfind("{\"ts_ms\":", 0), 0u);
+  EXPECT_NE(line1.find("\"type\":\"alpha\""), std::string::npos);
+  EXPECT_NE(line1.find("\"n\":1"), std::string::npos);
+  EXPECT_NE(line2.find("\"type\":\"beta\""), std::string::npos);
+  EXPECT_NE(line2.find("\\\"hi\\\""), std::string::npos);  // quotes escaped
+  EXPECT_NE(line2.find("\"ok\":true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Acceptance: a batched run with telemetry produces events that correlate
+// slot-for-slot with BatchResult via batch_id.
+TEST(EventLogTest, BatchQueryEventsAlignWithResultSlots) {
+  engine::QueryEngine eng = OpenTiny();
+  obs::EventLog& log = obs::EventLog::Global();
+  std::mutex mu;
+  std::vector<obs::Event> got;
+  uint64_t token = log.Subscribe([&](const obs::Event& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    got.push_back(e);
+  });
+
+  std::vector<std::string> queries = {
+      kTinyQuery,
+      "THIS IS NOT SPARQL",
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?p a ex:Prof }",
+  };
+  util::ThreadPool pool(2, "obs-batch-test");
+  engine::BatchOptions opts;
+  opts.pool = &pool;
+  engine::BatchResult batch = eng.ExecuteBatch(queries, opts);
+  log.Unsubscribe(token);
+  ASSERT_NE(batch.batch_id, 0u);
+  ASSERT_EQ(batch.results.size(), queries.size());
+
+  const std::string id = std::to_string(batch.batch_id);
+  std::vector<const obs::Event*> slots(queries.size(), nullptr);
+  size_t starts = 0, finishes = 0;
+  for (const obs::Event& e : got) {
+    if (e.FieldJson("batch_id") != id) continue;
+    if (e.type() == "batch.start") ++starts;
+    if (e.type() == "batch.finish") ++finishes;
+    if (e.type() != "batch.query") continue;
+    size_t slot = std::stoull(e.FieldJson("slot"));
+    ASSERT_LT(slot, slots.size());
+    EXPECT_EQ(slots[slot], nullptr) << "duplicate event for slot " << slot;
+    slots[slot] = &e;
+  }
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(finishes, 1u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    SCOPED_TRACE("slot " + std::to_string(i));
+    ASSERT_NE(slots[i], nullptr);
+    const obs::Event& e = *slots[i];
+    EXPECT_EQ(e.FieldJson("ok"), batch.results[i].ok() ? "true" : "false");
+    if (batch.results[i].ok()) {
+      EXPECT_EQ(std::stoull(e.FieldJson("results")),
+                batch.results[i]->table.rows.size());
+      EXPECT_EQ(e.FieldJson("timed_out"), "false");
+    } else {
+      EXPECT_FALSE(e.FieldJson("error").empty());
+    }
+  }
+}
+
+// --- chrome trace ----------------------------------------------------------
+
+TEST(ChromeTraceTest, SpanRecordsCompleteEventWithArgs) {
+  obs::ChromeTracer& tracer = obs::ChromeTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    obs::TraceSpan span("test", "unit-span");
+    span.Arg("key", "value");
+  }
+  tracer.Disable();
+  std::string json = tracer.ToJson();
+  tracer.Clear();
+
+  EXPECT_NE(json.find("\"name\":\"unit-span\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"key\":\"value\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, PoolHookRecordsWorkerTimelines) {
+  obs::ChromeTracer& tracer = obs::ChromeTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  obs::InstallPoolTraceHook();
+  {
+    util::ThreadPool pool(2, "tracer-test");
+    std::atomic<uint64_t> sum{0};
+    pool.ParallelFor(0, 64, [&sum](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64u * 63u / 2);
+  }
+  tracer.Disable();
+  EXPECT_GT(tracer.NumEvents(), 0u);
+  std::string json = tracer.ToJson();
+  tracer.Clear();
+
+  // Pool spans are named "<label>:<kind>" and carry thread_name metadata so
+  // Perfetto shows one timeline per worker.
+  EXPECT_NE(json.find("tracer-test:"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"pool\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WriteFileProducesLoadableJson) {
+  obs::ChromeTracer& tracer = obs::ChromeTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  tracer.AddComplete("test", "file-span", 10.0, 5.0);
+  tracer.Disable();
+
+  std::string path = testing::TempDir() + "/shapestats_trace_test.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(tracer.WriteFile(path).ok());
+  tracer.Clear();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(content.find("\"file-span\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- accuracy ledger -------------------------------------------------------
+
+TEST(AccuracyLedgerTest, ExactPercentileInterpolatesOrderStatistics) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(obs::ExactPercentile(empty, 50), 0.0);
+
+  std::vector<double> v = {4, 1, 3, 2};  // sorted in place by the call
+  EXPECT_DOUBLE_EQ(obs::ExactPercentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(obs::ExactPercentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(obs::ExactPercentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(obs::ExactPercentile(v, 25), 1.75);
+
+  std::vector<double> one = {9};
+  EXPECT_DOUBLE_EQ(obs::ExactPercentile(one, 50), 9.0);
+}
+
+TEST(AccuracyLedgerTest, RecordFiltersNonFiniteAndDefaultsJoinType) {
+  obs::QueryTrace trace;
+  trace.optimizer = "SS";
+  trace.query_shape = "star";
+  obs::StepTrace s1;
+  s1.source = "shape";
+  s1.join_type = "scan";
+  s1.q_error = 2.0;
+  obs::StepTrace s2;
+  s2.source = "global";
+  s2.join_type = "";  // ledger defaults empty join types to "join"
+  s2.q_error = 4.0;
+  obs::StepTrace s3;
+  s3.source = "textual";
+  s3.q_error = std::nan("");  // no cardinality model: skipped
+  trace.steps = {s1, s2, s3};
+
+  obs::AccuracyLedger ledger;
+  ledger.Record(trace);
+  EXPECT_EQ(ledger.num_queries(), 1u);
+  EXPECT_EQ(ledger.num_steps(), 2u);
+  EXPECT_DOUBLE_EQ(
+      ledger.Percentile({"SS", "star", "global", "join"}, 50), 4.0);
+  EXPECT_DOUBLE_EQ(
+      ledger.Percentile({"SS", "star", "shape", "scan"}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(
+      ledger.Percentile({"SS", "star", "textual", "join"}, 50), 0.0);
+
+  ledger.Reset();
+  EXPECT_EQ(ledger.num_queries(), 0u);
+  EXPECT_EQ(ledger.num_steps(), 0u);
+}
+
+TEST(AccuracyLedgerTest, SnapshotAppendsPerOptimizerRollups) {
+  obs::AccuracyLedger ledger;
+  ledger.RecordStep({"GS", "star", "global", "scan"}, 2.0);
+  ledger.RecordStep({"GS", "star", "global", "join"}, 8.0);
+  ledger.RecordStep({"SS", "path", "shape", "join"}, 3.0);
+
+  std::vector<obs::AccuracyLedger::Row> rows = ledger.Snapshot();
+  ASSERT_EQ(rows.size(), 5u);  // 3 keys + 2 optimizer rollups
+  // Per-key rows first (sorted by key), rollups ("*") after.
+  EXPECT_EQ(rows[0].key.optimizer, "GS");
+  EXPECT_EQ(rows[0].key.join_type, "join");
+  EXPECT_EQ(rows[1].key.join_type, "scan");
+  EXPECT_EQ(rows[2].key.optimizer, "SS");
+  EXPECT_EQ(rows[3].key, (obs::AccuracyKey{"GS", "*", "*", "*"}));
+  EXPECT_EQ(rows[4].key, (obs::AccuracyKey{"SS", "*", "*", "*"}));
+  EXPECT_EQ(rows[3].summary.steps, 2u);
+  EXPECT_DOUBLE_EQ(rows[3].summary.mean, 5.0);
+  EXPECT_DOUBLE_EQ(rows[3].summary.p50, 5.0);
+  EXPECT_DOUBLE_EQ(rows[3].summary.max, 8.0);
+  EXPECT_DOUBLE_EQ(rows[4].summary.p50, 3.0);
+
+  std::string table = ledger.ToTable();
+  EXPECT_NE(table.find("optimizer"), std::string::npos);
+  EXPECT_NE(table.find("3 join steps"), std::string::npos);
+  std::string json = ledger.ToJson();
+  EXPECT_NE(json.find("\"optimizer\":\"GS\""), std::string::npos);
+  EXPECT_NE(json.find("\"query_shape\":\"*\""), std::string::npos);
+}
+
+// Acceptance: a fixed workload traced on SS and GS engines reproduces the
+// `.accuracy` percentiles from the per-step q-errors of the traces.
+TEST(AccuracyLedgerTest, EngineWorkloadReproducesAccuracyPercentiles) {
+  const char* kWorkload[] = {
+      kTinyQuery,
+      "PREFIX ex: <http://ex/> SELECT * WHERE "
+      "{ ?x a ex:Student . ?x ex:takes ?c }",
+      "PREFIX ex: <http://ex/> SELECT * WHERE "
+      "{ ?p a ex:Prof . ?p ex:teaches ?c }",
+  };
+  engine::QueryEngine ss = OpenTiny();
+  engine::QueryEngine gs =
+      OpenTiny(engine::EngineOptions::Optimizer::kGlobalStats);
+
+  std::vector<double> ss_q, gs_q;
+  for (const char* text : kWorkload) {
+    obs::QueryTrace ts, tg;
+    ASSERT_TRUE(ss.Execute(text, &ts).ok());
+    ASSERT_TRUE(gs.Execute(text, &tg).ok());
+    ASSERT_FALSE(ts.steps.empty());
+    for (const obs::StepTrace& s : ts.steps) {
+      if (std::isfinite(s.q_error)) ss_q.push_back(s.q_error);
+    }
+    for (const obs::StepTrace& s : tg.steps) {
+      if (std::isfinite(s.q_error)) gs_q.push_back(s.q_error);
+    }
+  }
+  ASSERT_FALSE(ss_q.empty());
+  ASSERT_FALSE(gs_q.empty());
+
+  EXPECT_EQ(ss.accuracy_ledger().num_queries(), 3u);
+  EXPECT_EQ(ss.accuracy_ledger().num_steps(), ss_q.size());
+
+  auto rollup = [](const obs::AccuracyLedger& ledger,
+                   const std::string& optimizer) {
+    for (const obs::AccuracyLedger::Row& row : ledger.Snapshot()) {
+      if (row.key.optimizer == optimizer && row.key.query_shape == "*") {
+        return row.summary;
+      }
+    }
+    return obs::AccuracySummary{};
+  };
+  obs::AccuracySummary ss_sum = rollup(ss.accuracy_ledger(), "SS");
+  obs::AccuracySummary gs_sum = rollup(gs.accuracy_ledger(), "GS");
+  EXPECT_EQ(ss_sum.steps, ss_q.size());
+  EXPECT_EQ(gs_sum.steps, gs_q.size());
+  EXPECT_DOUBLE_EQ(ss_sum.p50, obs::ExactPercentile(ss_q, 50));
+  EXPECT_DOUBLE_EQ(ss_sum.p95, obs::ExactPercentile(ss_q, 95));
+  EXPECT_DOUBLE_EQ(ss_sum.max, obs::ExactPercentile(ss_q, 100));
+  EXPECT_DOUBLE_EQ(gs_sum.p50, obs::ExactPercentile(gs_q, 50));
+
+  // SS answers type patterns from shape statistics; GS never does.
+  bool ss_shape = false, gs_shape = false;
+  for (const auto& row : ss.accuracy_ledger().Snapshot()) {
+    if (row.key.source == "shape") ss_shape = true;
+  }
+  for (const auto& row : gs.accuracy_ledger().Snapshot()) {
+    if (row.key.source == "shape") gs_shape = true;
+  }
+  EXPECT_TRUE(ss_shape);
+  EXPECT_FALSE(gs_shape);
+
+  // The `.accuracy` shell command renders exactly these rows.
+  std::string table = ss.accuracy_ledger().ToTable();
+  EXPECT_NE(table.find("SS"), std::string::npos);
+  EXPECT_NE(table.find("3 traced queries"), std::string::npos);
+}
+
+TEST(AccuracyLedgerTest, EngineSkipsInexactQueries) {
+  engine::QueryEngine eng = OpenTiny();
+  obs::QueryTrace trace;
+  // ASK and LIMIT stop early, so their measured cardinalities are not the
+  // true ones; the ledger must not learn from them.
+  ASSERT_TRUE(
+      eng.Execute("PREFIX ex: <http://ex/> ASK { ?x a ex:Student }", &trace)
+          .ok());
+  EXPECT_EQ(eng.accuracy_ledger().num_queries(), 0u);
+
+  obs::QueryTrace trace2;
+  ASSERT_TRUE(eng.Execute("PREFIX ex: <http://ex/> SELECT * WHERE "
+                          "{ ?x a ex:Student } LIMIT 1",
+                          &trace2)
+                  .ok());
+  EXPECT_EQ(eng.accuracy_ledger().num_queries(), 0u);
+
+  // Untraced executions record nothing either.
+  ASSERT_TRUE(eng.Execute(kTinyQuery).ok());
+  EXPECT_EQ(eng.accuracy_ledger().num_queries(), 0u);
+
+  obs::QueryTrace trace3;
+  ASSERT_TRUE(eng.Execute(kTinyQuery, &trace3).ok());
+  EXPECT_EQ(eng.accuracy_ledger().num_queries(), 1u);
+  EXPECT_GT(eng.accuracy_ledger().num_steps(), 0u);
+
+  eng.ResetAccuracyLedger();
+  EXPECT_EQ(eng.accuracy_ledger().num_queries(), 0u);
+  EXPECT_EQ(eng.accuracy_ledger().num_steps(), 0u);
+}
+
+TEST(ExplainAnalyze, FeedsAccuracyLedgerAndClassifiesJoinTypes) {
+  engine::QueryEngine eng = OpenTiny();
+  auto analyzed = eng.ExplainAnalyze(kTinyQuery);
+  ASSERT_TRUE(analyzed.ok());
+  ASSERT_EQ(analyzed->trace.steps.size(), 3u);
+  EXPECT_EQ(analyzed->trace.steps[0].join_type, "scan");
+  for (size_t k = 1; k < analyzed->trace.steps.size(); ++k) {
+    EXPECT_EQ(analyzed->trace.steps[k].join_type, "join") << "step " << k;
+  }
+  EXPECT_NE(analyzed->json.find("\"join_type\":\"scan\""), std::string::npos);
+  EXPECT_EQ(eng.accuracy_ledger().num_queries(), 1u);
 }
 
 }  // namespace

@@ -193,5 +193,56 @@ TEST(ExecuteBatchTest, CollectsIndexAlignedTraces) {
   EXPECT_TRUE(batch.results[1].ok());
 }
 
+TEST(ExecuteBatchTest, TimeoutsLandInTheRightSlotWithTraces) {
+  // 3000 subjects with one ex:p triple each; objects never appear as
+  // subjects. The two-hop query probes thousands of times (crossing the
+  // executor's timeout-check interval) while the point lookups finish well
+  // under it, so with a tiny per-query timeout only the heavy slot times out.
+  rdf::Graph graph;
+  for (int i = 0; i < 3000; ++i) {
+    graph.Add(rdf::Term::Iri("http://ex/s" + std::to_string(i)),
+              rdf::Term::Iri("http://ex/p"),
+              rdf::Term::Iri("http://ex/o" + std::to_string(i)));
+  }
+  graph.Finalize();
+  engine::EngineOptions eng_opts;
+  eng_opts.optimizer = engine::EngineOptions::Optimizer::kGlobalStats;
+  eng_opts.exec.timeout_ms = 1e-6;
+  auto eng = engine::QueryEngine::Open(std::move(graph), eng_opts);
+  ASSERT_TRUE(eng.ok()) << eng.status().ToString();
+
+  std::vector<std::string> queries = {
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x ex:p <http://ex/o5> }",
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x ex:p ?y . ?y ex:p ?z }",
+      "PREFIX ex: <http://ex/> SELECT * WHERE { ?x ex:p <http://ex/o7> }",
+  };
+  util::ThreadPool four(4);
+  engine::BatchOptions opts;
+  opts.pool = &four;
+  opts.collect_traces = true;
+  engine::BatchResult batch = eng->ExecuteBatch(queries, opts);
+
+  ASSERT_EQ(batch.results.size(), 3u);
+  ASSERT_EQ(batch.traces.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    SCOPED_TRACE("slot " + std::to_string(i));
+    ASSERT_TRUE(batch.results[i].ok());
+    bool heavy = (i == 1);
+    EXPECT_EQ(batch.results[i]->table.timed_out, heavy);
+    EXPECT_EQ(batch.traces[i].timed_out, heavy);
+    // Traces are index-aligned with results: each trace describes its slot.
+    EXPECT_EQ(batch.traces[i].num_results,
+              batch.results[i]->table.rows.size());
+    EXPECT_GT(batch.traces[i].exec.total_probes, 0u);
+  }
+  EXPECT_EQ(batch.results[0]->table.rows.size(), 1u);
+  EXPECT_EQ(batch.results[1]->table.rows.size(), 0u);
+  EXPECT_EQ(batch.results[2]->table.rows.size(), 1u);
+
+  // A timed-out query is inexact, so the ledger must only have learned from
+  // the two point lookups.
+  EXPECT_EQ(eng->accuracy_ledger().num_queries(), 2u);
+}
+
 }  // namespace
 }  // namespace shapestats

@@ -1,0 +1,277 @@
+// Compares two BENCH_<name>.json telemetry files (see bench/bench_telemetry.h)
+// and fails when the candidate regresses against the baseline:
+//
+//   * digests  — must match exactly (they encode deterministic artifacts
+//                and result sets; any difference is a correctness bug);
+//   * counters — deterministic quantities, compared with a small relative
+//                tolerance (--counter-rel-tol, default 1%);
+//   * timings  — compared with a generous ratio gate on top of an absolute
+//                floor (--timing-max-ratio, default 25x over
+//                max(baseline, --timing-min-ms)), so CI catches order-of-
+//                magnitude blowups without flaking on shared runners.
+//
+// Keys present in the baseline but missing from the candidate fail (a
+// silently dropped measurement is a regression of the telemetry itself);
+// new keys in the candidate are reported but pass.
+//
+// Usage:
+//   bench_diff <baseline.json> <candidate.json>
+//       [--timing-max-ratio R] [--timing-min-ms M] [--counter-rel-tol T]
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// Minimal JSON reader for the flat BENCH schema: nested objects of
+// string / number / bool values. No arrays are emitted by BenchTelemetry,
+// but they are skipped gracefully if present.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  // Flattens the document into "section.key" -> raw token text.
+  bool Parse(std::map<std::string, std::string>* out) {
+    out_ = out;
+    SkipWs();
+    return ParseValue("") && (SkipWs(), pos_ == s_.size());
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        char esc = s_[pos_ + 1];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default: out->push_back(esc);
+        }
+        pos_ += 2;
+      } else {
+        out->push_back(s_[pos_++]);
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(const std::string& prefix) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') return ParseObject(prefix);
+    if (c == '[') return SkipArray();
+    if (c == '"') {
+      std::string str;
+      if (!ParseString(&str)) return false;
+      (*out_)[prefix] = str;
+      return true;
+    }
+    // number / true / false / null: consume the bare token.
+    size_t start = pos_;
+    while (pos_ < s_.size() && std::strchr(",}] \t\n\r", s_[pos_]) == nullptr) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    (*out_)[prefix] = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool ParseObject(const std::string& prefix) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      if (!ParseValue(prefix.empty() ? key : prefix + "." + key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool SkipArray() {
+    int depth = 0;
+    bool in_string = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (in_string) {
+        if (c == '\\') ++pos_;
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      else if (c == '[') ++depth;
+      else if (c == ']' && --depth == 0) return true;
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::map<std::string, std::string>* out_ = nullptr;
+};
+
+bool ReadFlatJson(const char* path, std::map<std::string, std::string>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  if (!JsonParser(text).Parse(out)) {
+    std::fprintf(stderr, "bench_diff: %s is not valid telemetry JSON\n", path);
+    return false;
+  }
+  return true;
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  double timing_max_ratio = 25.0;
+  double timing_min_ms = 5.0;
+  double counter_rel_tol = 0.01;
+  for (int i = 1; i < argc; ++i) {
+    auto next_double = [&](double* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_diff: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      *out = std::atof(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--timing-max-ratio") == 0) {
+      next_double(&timing_max_ratio);
+    } else if (std::strcmp(argv[i], "--timing-min-ms") == 0) {
+      next_double(&timing_min_ms);
+    } else if (std::strcmp(argv[i], "--counter-rel-tol") == 0) {
+      next_double(&counter_rel_tol);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      std::fprintf(stderr, "bench_diff: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json> "
+                 "[--timing-max-ratio R] [--timing-min-ms M] "
+                 "[--counter-rel-tol T]\n");
+    return 2;
+  }
+
+  std::map<std::string, std::string> base, cand;
+  if (!ReadFlatJson(baseline_path, &base) || !ReadFlatJson(candidate_path, &cand)) {
+    return 2;
+  }
+
+  int failures = 0;
+  auto fail = [&failures](const std::string& msg) {
+    std::printf("FAIL  %s\n", msg.c_str());
+    ++failures;
+  };
+
+  for (const auto& [key, bval] : base) {
+    bool is_digest = StartsWith(key, "digests.");
+    bool is_counter = StartsWith(key, "counters.");
+    bool is_timing = StartsWith(key, "timings.");
+    if (!is_digest && !is_counter && !is_timing) continue;  // meta / pool
+    auto it = cand.find(key);
+    if (it == cand.end()) {
+      fail(key + ": missing from candidate");
+      continue;
+    }
+    const std::string& cval = it->second;
+    if (is_digest) {
+      if (bval != cval) {
+        fail(key + ": digest mismatch (baseline " + bval + ", candidate " +
+             cval + ")");
+      } else {
+        std::printf("ok    %s = %s\n", key.c_str(), bval.c_str());
+      }
+    } else if (is_counter) {
+      double b = std::atof(bval.c_str());
+      double c = std::atof(cval.c_str());
+      double tol = counter_rel_tol * std::max({std::fabs(b), std::fabs(c), 1.0});
+      if (std::fabs(b - c) > tol) {
+        fail(key + ": counter drifted (baseline " + bval + ", candidate " +
+             cval + ")");
+      } else {
+        std::printf("ok    %s = %s\n", key.c_str(), cval.c_str());
+      }
+    } else {
+      double b = std::atof(bval.c_str());
+      double c = std::atof(cval.c_str());
+      double limit = std::max(b, timing_min_ms) * timing_max_ratio;
+      if (c > limit) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f", limit);
+        fail(key + ": timing regressed (baseline " + bval + " ms, candidate " +
+             cval + " ms, limit " + buf + " ms)");
+      } else {
+        std::printf("ok    %s = %s ms (baseline %s ms)\n", key.c_str(),
+                    cval.c_str(), bval.c_str());
+      }
+    }
+  }
+  for (const auto& [key, cval] : cand) {
+    if (base.count(key)) continue;
+    if (StartsWith(key, "digests.") || StartsWith(key, "counters.") ||
+        StartsWith(key, "timings.")) {
+      std::printf("new   %s = %s (not in baseline)\n", key.c_str(), cval.c_str());
+    }
+  }
+
+  if (failures > 0) {
+    std::printf("bench_diff: %d regression(s) against %s\n", failures,
+                baseline_path);
+    return 1;
+  }
+  std::printf("bench_diff: no regressions against %s\n", baseline_path);
+  return 0;
+}
