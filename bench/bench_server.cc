@@ -1,0 +1,305 @@
+// Serving-plane benchmark: closed-loop multi-client load against the
+// SparqlServer's /sparql endpoint over real sockets. Measures end-to-end
+// HTTP throughput and latency percentiles (p50/p95/p99) for a round-robin
+// LUBM query mix on keep-alive connections, digests the response bodies so
+// any result drift across server changes is caught exactly, then drives a
+// deterministic overload phase (admission slot pinned, zero queue) to prove
+// the 503 load-shedding path and its counters work under pressure.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_telemetry.h"
+#include "datagen/lubm.h"
+#include "engine/query_engine.h"
+#include "obs/accuracy_ledger.h"
+#include "obs/metrics.h"
+#include "server/sparql_server.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+using namespace shapestats;
+
+namespace {
+
+uint64_t Fnv1a(const std::string& s, uint64_t h = 1469598103934665603ull) {
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return h;
+}
+
+std::string UrlEncode(const std::string& s) {
+  std::string out;
+  for (unsigned char c : s) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+// The benchmark workload: star and path shapes over the LUBM vocabulary,
+// all deterministic (ORDER BY-free queries still execute deterministically
+// on the single finalized graph).
+const char* kQueries[] = {
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "SELECT ?x ?n WHERE { ?x a ub:FullProfessor . ?x ub:name ?n }",
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "SELECT ?x ?e WHERE { ?x a ub:GraduateStudent . "
+    "?x ub:emailAddress ?e } LIMIT 50",
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "SELECT ?s ?c WHERE { ?s ub:takesCourse ?c . ?s a ub:GraduateStudent } "
+    "LIMIT 100",
+    "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "SELECT (COUNT(*) AS ?n) WHERE { ?x a ub:UndergraduateStudent }",
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+// --- minimal keep-alive HTTP client ----------------------------------------
+
+int ConnectTo(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Reads one Content-Length-framed response; returns the status code (0 on
+// transport error) and the body via *body.
+int ReadResponse(int fd, std::string* carry, std::string* body) {
+  std::string& buf = *carry;
+  size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[8192];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return 0;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  int status = std::atoi(buf.c_str() + buf.find(' ') + 1);
+  size_t content_length = 0;
+  size_t cl = buf.find("Content-Length:");
+  if (cl != std::string::npos && cl < head_end) {
+    content_length = std::strtoull(buf.c_str() + cl + 15, nullptr, 10);
+  }
+  size_t body_start = head_end + 4;
+  while (buf.size() < body_start + content_length) {
+    char chunk[8192];
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return 0;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  *body = buf.substr(body_start, content_length);
+  buf.erase(0, body_start + content_length);
+  return status;
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+  // First response body seen per query index, for the determinism digest.
+  std::vector<std::string> first_body;
+};
+
+// One closed-loop client: a keep-alive connection issuing `requests`
+// round-robin queries back-to-back, measuring per-request wall time.
+ClientStats RunClient(uint16_t port, int client_index, int requests) {
+  ClientStats stats;
+  stats.first_body.resize(kNumQueries);
+  int fd = ConnectTo(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "client %d: connect failed\n", client_index);
+    stats.failed = static_cast<uint64_t>(requests);
+    return stats;
+  }
+  std::string carry;
+  for (int r = 0; r < requests; ++r) {
+    size_t q = static_cast<size_t>(client_index + r) % kNumQueries;
+    std::string request = "GET /sparql?query=" + UrlEncode(kQueries[q]) +
+                          " HTTP/1.1\r\nHost: bench\r\n\r\n";
+    std::string body;
+    Timer timer;
+    bool sent = SendAll(fd, request);
+    int status = sent ? ReadResponse(fd, &carry, &body) : 0;
+    double ms = timer.ElapsedMs();
+    if (status == 200) {
+      ++stats.ok;
+      stats.latencies_ms.push_back(ms);
+      if (stats.first_body[q].empty()) stats.first_body[q] = body;
+    } else {
+      ++stats.failed;
+    }
+  }
+  ::close(fd);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchTelemetry telemetry("server");
+  std::printf("=== Serving plane: closed-loop /sparql throughput ===\n\n");
+
+  datagen::LubmOptions lubm;
+  lubm.universities = 1;
+  auto opened = engine::QueryEngine::Open(datagen::GenerateLubm(lubm));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "engine open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  engine::QueryEngine eng = std::move(opened).value();
+
+  server::SparqlServerOptions opts;
+  opts.http.port = 0;  // ephemeral
+  opts.http.threads = 4;
+  opts.collect_traces = false;  // measure the serving path, not the ledger
+  server::SparqlServer srv(&eng, opts);
+  Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // --- measured phase: concurrent closed-loop clients ---------------------
+  constexpr int kClients = 2;
+  constexpr int kRequestsPerClient = 40;
+  std::vector<ClientStats> per_client(kClients);
+  Timer wall;
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        per_client[c] = RunClient(srv.port(), c, kRequestsPerClient);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  double wall_ms = wall.ElapsedMs();
+
+  std::vector<double> latencies;
+  uint64_t ok = 0, failed = 0;
+  std::vector<std::string> bodies(kNumQueries);
+  bool bodies_consistent = true;
+  for (const ClientStats& cs : per_client) {
+    ok += cs.ok;
+    failed += cs.failed;
+    latencies.insert(latencies.end(), cs.latencies_ms.begin(),
+                     cs.latencies_ms.end());
+    for (size_t q = 0; q < kNumQueries; ++q) {
+      if (cs.first_body[q].empty()) continue;
+      if (bodies[q].empty()) {
+        bodies[q] = cs.first_body[q];
+      } else if (bodies[q] != cs.first_body[q]) {
+        bodies_consistent = false;  // same query, different result payload
+      }
+    }
+  }
+  double p50 = obs::ExactPercentile(latencies, 50);
+  double p95 = obs::ExactPercentile(latencies, 95);
+  double p99 = obs::ExactPercentile(latencies, 99);
+  double qps = wall_ms > 0 ? 1000.0 * static_cast<double>(ok) / wall_ms : 0;
+
+  TablePrinter table({"clients", "requests", "ok", "failed", "wall (ms)",
+                      "qps", "p50 (ms)", "p95 (ms)", "p99 (ms)"});
+  table.AddRow({std::to_string(kClients),
+                std::to_string(kClients * kRequestsPerClient),
+                std::to_string(ok), std::to_string(failed),
+                CompactDouble(wall_ms), CompactDouble(qps),
+                CompactDouble(p50), CompactDouble(p95), CompactDouble(p99)});
+  table.Print();
+
+  uint64_t digest = 1469598103934665603ull;
+  for (size_t q = 0; q < kNumQueries; ++q) digest = Fnv1a(bodies[q], digest);
+  std::printf("\nresponse digest over %zu queries: %016llx (%s)\n", kNumQueries,
+              static_cast<unsigned long long>(digest),
+              bodies_consistent ? "consistent across clients" : "INCONSISTENT");
+  if (!bodies_consistent || failed != 0) {
+    std::fprintf(stderr, "FATAL: serving results diverged or requests failed\n");
+    return 1;
+  }
+
+  // --- overload phase: pinned slot, zero queue -> every request sheds -----
+  server::SparqlServerOptions shed_opts;
+  shed_opts.http.port = 0;
+  shed_opts.http.threads = 2;
+  shed_opts.admission.max_inflight = 1;
+  shed_opts.admission.queue_limit = 0;
+  shed_opts.collect_traces = false;
+  server::SparqlServer shed_srv(&eng, shed_opts);
+  if (!shed_srv.Start().ok()) {
+    std::fprintf(stderr, "overload server start failed\n");
+    return 1;
+  }
+  shed_srv.admission().Admit();  // pin the single execution slot
+  constexpr int kOverloadRequests = 10;
+  int sheds_seen = 0;
+  {
+    int fd = ConnectTo(shed_srv.port());
+    std::string carry;
+    for (int r = 0; r < kOverloadRequests; ++r) {
+      std::string request = "GET /sparql?query=" + UrlEncode(kQueries[0]) +
+                            " HTTP/1.1\r\nHost: bench\r\n\r\n";
+      std::string body;
+      if (SendAll(fd, request) && ReadResponse(fd, &carry, &body) == 503) {
+        ++sheds_seen;
+      }
+    }
+    ::close(fd);
+  }
+  shed_srv.admission().Release();
+  std::printf("overload phase: %d/%d requests shed with 503 "
+              "(server counted %llu)\n",
+              sheds_seen, kOverloadRequests,
+              static_cast<unsigned long long>(shed_srv.admission().shed_total()));
+  shed_srv.Stop();
+  srv.Stop();
+  if (sheds_seen != kOverloadRequests) {
+    std::fprintf(stderr, "FATAL: expected every overload request to shed\n");
+    return 1;
+  }
+
+  // Deterministic quantities gate exactly / tightly; wall-clock numbers use
+  // bench_diff's generous timing ratio. Throughput is recorded for trend
+  // dashboards but deliberately kept out of the checked-in baseline (new
+  // candidate keys pass bench_diff).
+  telemetry.Digest("server.responses", digest);
+  telemetry.Counter("server.requests", kClients * kRequestsPerClient);
+  telemetry.Counter("server.ok", static_cast<double>(ok));
+  telemetry.Counter("server.failed", static_cast<double>(failed));
+  telemetry.Counter("server.overload_sheds", sheds_seen);
+  telemetry.Counter("server.throughput_qps", qps);
+  telemetry.Timing("server.wall_ms", wall_ms);
+  telemetry.Timing("server.p50_ms", p50);
+  telemetry.Timing("server.p95_ms", p95);
+  telemetry.Timing("server.p99_ms", p99);
+  return 0;
+}

@@ -18,6 +18,8 @@
 //   .audit               audit global + shape statistics consistency
 //   .metrics             dump the process-wide metrics registry
 //   .metrics reset       zero every counter and histogram
+//   .events [n]          tail the last n structured EventLog entries
+//                        (default 20) as JSONL
 //   .accuracy            q-error percentiles of every traced query so far,
 //                        keyed by optimizer / shape / stats source / join
 //   .trace <file>        write the last executed query's trace JSON to file
@@ -25,9 +27,11 @@
 //   anything else        executed as a SPARQL query (may span lines;
 //                        terminate with an empty line)
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/stats_audit.h"
 #include "datagen/lubm.h"
@@ -114,6 +118,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   engine::QueryEngine eng = std::move(opened).value();
+  // Retain events in the global ring so `.events` has something to tail
+  // even without a SHAPESTATS_EVENT_LOG file sink.
+  obs::EventLog::Global().SetEnabled(true);
   PrintStats(eng);
   std::printf("type .help for commands; SPARQL queries run directly\n");
 
@@ -135,8 +142,8 @@ int main(int argc, char** argv) {
     if (trimmed == ".help") {
       std::printf(
           ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
-          ".lint <query> | .audit | .metrics [reset] | .accuracy | "
-          ".trace <file> | .quit\n");
+          ".lint <query> | .audit | .metrics [reset] | .events [n] | "
+          ".accuracy | .trace <file> | .quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
     } else if (trimmed == ".audit") {
@@ -162,6 +169,30 @@ int main(int argc, char** argv) {
       } else {
         std::fputs(analysis::ToText(*diags).c_str(), stdout);
       }
+    } else if (trimmed == ".events" || StartsWith(trimmed, ".events ")) {
+      size_t n = 20;
+      std::string arg(Trim(trimmed.substr(7)));
+      if (!arg.empty()) {
+        char* end = nullptr;
+        unsigned long parsed = std::strtoul(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || parsed == 0) {
+          std::printf("usage: .events [n]\n");
+          std::printf("sparql> ");
+          std::fflush(stdout);
+          continue;
+        }
+        n = parsed;
+      }
+      obs::EventLog& log = obs::EventLog::Global();
+      std::vector<obs::Event> events = log.Snapshot();
+      size_t from = events.size() > n ? events.size() - n : 0;
+      for (size_t i = from; i < events.size(); ++i) {
+        std::printf("%s\n", events[i].ToJson().c_str());
+      }
+      std::printf("%zu of %llu emitted events shown (%llu dropped from ring)\n",
+                  events.size() - from,
+                  static_cast<unsigned long long>(log.total_emitted()),
+                  static_cast<unsigned long long>(log.dropped()));
     } else if (trimmed == ".metrics") {
       std::fputs(obs::MetricsRegistry::Global().ToText().c_str(), stdout);
     } else if (trimmed == ".metrics reset") {

@@ -369,11 +369,13 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
   span.Arg("queries", std::to_string(queries.size()));
   span.Arg("pool", pool.label());
   if (log.active()) {
-    log.Emit(obs::Event("batch.start")
-                 .Uint("batch_id", batch.batch_id)
-                 .Uint("queries", queries.size())
-                 .Str("pool", pool.label())
-                 .Uint("threads", pool.num_threads()));
+    obs::Event ev("batch.start");
+    ev.Uint("batch_id", batch.batch_id)
+        .Uint("queries", queries.size())
+        .Str("pool", pool.label())
+        .Uint("threads", pool.num_threads());
+    if (options.request_id != 0) ev.Uint("request_id", options.request_id);
+    log.Emit(std::move(ev));
   }
   Timer timer;
   // Queries only read the finalized graph and the immutable statistics (the
@@ -388,6 +390,7 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
       const Result<QueryResult>& r = batch.results[i];
       obs::Event ev("batch.query");
       ev.Uint("batch_id", batch.batch_id).Uint("slot", i).Bool("ok", r.ok());
+      if (options.request_id != 0) ev.Uint("request_id", options.request_id);
       if (r.ok()) {
         uint64_t results = r->count ? *r->count
                            : r->ask ? static_cast<uint64_t>(*r->ask)
@@ -416,12 +419,14 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
   obs::PublishPoolMetrics(pool);
   if (log.active()) {
     util::ThreadPool::StatsSnapshot stats = pool.stats();
-    log.Emit(obs::Event("batch.finish")
-                 .Uint("batch_id", batch.batch_id)
-                 .Uint("queries", queries.size())
-                 .Uint("failures", failures)
-                 .Num("wall_ms", batch.wall_ms)
-                 .Num("sum_query_ms", batch.sum_query_ms));
+    obs::Event ev("batch.finish");
+    ev.Uint("batch_id", batch.batch_id)
+        .Uint("queries", queries.size())
+        .Uint("failures", failures)
+        .Num("wall_ms", batch.wall_ms)
+        .Num("sum_query_ms", batch.sum_query_ms);
+    if (options.request_id != 0) ev.Uint("request_id", options.request_id);
+    log.Emit(std::move(ev));
     log.Emit(obs::Event("pool")
                  .Str("label", pool.label())
                  .Uint("threads", stats.num_threads)

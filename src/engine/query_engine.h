@@ -78,6 +78,11 @@ struct BatchOptions {
   /// Collect a per-query obs::QueryTrace (BatchResult::traces, index-aligned
   /// with the input).
   bool collect_traces = false;
+  /// When nonzero, stamped as "request_id" on every batch.* event this batch
+  /// emits into the obs::EventLog, so serving-plane requests (which carry the
+  /// same id on their http.request.* events) are attributable to the engine
+  /// work they caused.
+  uint64_t request_id = 0;
 };
 
 /// Result of one ExecuteBatch call. `results[i]` is the outcome of

@@ -93,6 +93,15 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return counters_.back().second.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  util::MutexLock lock(mu_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) return g.get();
+  }
+  gauges_.emplace_back(name, std::make_unique<Gauge>());
+  return gauges_.back().second.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   util::MutexLock lock(mu_);
   for (auto& [n, h] : histograms_) {
@@ -110,12 +119,18 @@ MetricsSnapshot MetricsRegistry::Snap() const {
     for (const auto& [n, c] : counters_) {
       snap.counters.push_back({n, c->value()});
     }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [n, g] : gauges_) {
+      snap.gauges.push_back({n, g->value()});
+    }
     snap.histograms.reserve(histograms_.size());
     for (const auto& [n, h] : histograms_) {
       snap.histograms.push_back({n, h->Snap()});
     }
   }
   std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
   std::sort(snap.histograms.begin(), snap.histograms.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
@@ -125,6 +140,7 @@ MetricsSnapshot MetricsRegistry::Snap() const {
 void MetricsRegistry::ResetAll() {
   util::MutexLock lock(mu_);
   for (auto& [n, c] : counters_) c->Reset();
+  for (auto& [n, g] : gauges_) g->Reset();
   for (auto& [n, h] : histograms_) h->Reset();
 }
 
@@ -163,6 +179,12 @@ std::string MetricsSnapshot::ToJson() const {
     out += "{\"name\":\"" + JsonEscape(counters[i].name) +
            "\",\"value\":" + std::to_string(counters[i].value) + "}";
   }
+  out += "],\"gauges\":[";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"name\":\"" + JsonEscape(gauges[i].name) +
+           "\",\"value\":" + std::to_string(gauges[i].value) + "}";
+  }
   out += "],\"histograms\":[";
   for (size_t i = 0; i < histograms.size(); ++i) {
     const auto& h = histograms[i];
@@ -198,6 +220,13 @@ std::string MetricsSnapshot::ToText() const {
     }
     out += printer.Render();
   }
+  if (!gauges.empty()) {
+    TablePrinter printer({"gauge", "value"});
+    for (const auto& g : gauges) {
+      printer.AddRow({g.name, std::to_string(g.value)});
+    }
+    out += printer.Render();
+  }
   if (!histograms.empty()) {
     TablePrinter printer(
         {"histogram", "count", "mean", "p50", "p95", "p99", "min", "max"});
@@ -211,6 +240,54 @@ std::string MetricsSnapshot::ToText() const {
     out += printer.Render();
   }
   if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& c : counters) {
+    std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const auto& g : gauges) {
+    std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const auto& h : histograms) {
+    std::string name = PrometheusName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    // Cumulative counts over the log-scale buckets, up to the highest
+    // non-empty bucket; `le` is each bucket's exclusive upper edge (the next
+    // bucket's lower bound). The overflow bucket folds into +Inf.
+    size_t top = 0;
+    for (size_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+      if (h.snap.buckets[b] != 0) top = b + 1;
+    }
+    uint64_t cum = 0;
+    for (size_t b = 0; b < top; ++b) {
+      cum += h.snap.buckets[b];
+      out += name + "_bucket{le=\"" + FmtDouble(Histogram::BucketLow(b + 1)) +
+             "\"} " + std::to_string(cum) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.snap.count) + "\n";
+    out += name + "_sum " + FmtDouble(h.snap.sum) + "\n";
+    out += name + "_count " + std::to_string(h.snap.count) + "\n";
+  }
   return out;
 }
 

@@ -32,6 +32,21 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// Instantaneous signed level (queue depth, in-flight requests). Lock-free;
+/// safe to share across threads. Unlike Counter it can go down, so
+/// Prometheus exposition types it as a gauge.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Sub(int64_t delta = 1) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// Log-scale (power-of-two bucket) histogram of non-negative samples.
 /// Bucket 0 covers [0, 1); bucket k (1 <= k < 63) covers [2^(k-1), 2^k);
 /// bucket 63 is the overflow bucket. Observe() takes a mutex — intended for
@@ -74,28 +89,44 @@ struct MetricsSnapshot {
     std::string name;
     uint64_t value = 0;
   };
+  struct GaugeEntry {
+    std::string name;
+    int64_t value = 0;
+  };
   struct HistogramEntry {
     std::string name;
     Histogram::Snapshot snap;
   };
   std::vector<CounterEntry> counters;      // sorted by name
+  std::vector<GaugeEntry> gauges;          // sorted by name
   std::vector<HistogramEntry> histograms;  // sorted by name
 
   /// Machine-readable export:
   /// {"counters":[{"name":..,"value":..}],
+  ///  "gauges":[{"name":..,"value":..}],
   ///  "histograms":[{"name":..,"count":..,"sum":..,"min":..,"max":..,
   ///                 "buckets":[{"lo":..,"count":..}]}]}
   std::string ToJson() const;
-  /// Human-readable aligned table (counters then histogram summaries).
+  /// Human-readable aligned table (counters, gauges, histogram summaries).
   std::string ToText() const;
+  /// Prometheus text exposition format (version 0.0.4): counters as
+  /// `# TYPE <name> counter`, gauges as gauges, histograms as cumulative
+  /// `<name>_bucket{le="..."}` series plus `_sum`/`_count`. Metric names are
+  /// sanitized via PrometheusName (dots become underscores).
+  std::string ToPrometheus() const;
 };
+
+/// Sanitizes a metric name for Prometheus exposition: characters outside
+/// [a-zA-Z0-9_:] map to '_', and a leading digit gets a '_' prefix.
+std::string PrometheusName(const std::string& name);
 
 /// Thread-safe name -> instrument registry. Returned pointers are stable for
 /// the registry's lifetime, so callers resolve once and increment lock-free.
 class MetricsRegistry {
  public:
-  /// Finds or creates the named counter / histogram.
+  /// Finds or creates the named counter / gauge / histogram.
   Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
   /// Convenience one-shot forms (one map lookup per call).
@@ -107,6 +138,7 @@ class MetricsRegistry {
   MetricsSnapshot Snap() const;
   std::string ToJson() const { return Snap().ToJson(); }
   std::string ToText() const { return Snap().ToText(); }
+  std::string ToPrometheus() const { return Snap().ToPrometheus(); }
 
   /// Zeroes every instrument (names stay registered; pointers stay valid).
   void ResetAll();
@@ -119,6 +151,8 @@ class MetricsRegistry {
   // Parallel name/instrument vectors kept sorted on snapshot, not insert:
   // entries are append-only so raw pointers remain stable.
   std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      SHAPESTATS_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
       SHAPESTATS_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
       SHAPESTATS_GUARDED_BY(mu_);

@@ -1,0 +1,158 @@
+// SPARQL-over-HTTP serving plane: the "millions of users" entry point of
+// the engine, with observability as a first-class deliverable. A
+// SparqlServer wraps one immutable QueryEngine behind an HttpServer and
+// serves:
+//
+//   /sparql    GET ?query=... or POST (form / application/sparql-query):
+//              parse + optimize + execute via QueryEngine::ExecuteBatch on
+//              the shared thread pool, streaming SPARQL-1.1-JSON results.
+//              Guarded by admission control: a concurrency cap, a bounded
+//              wait queue, and load shedding with 503 beyond it.
+//   /metrics   Prometheus text exposition of obs::MetricsRegistry::Global().
+//   /healthz   liveness JSON (uptime, in-flight, queue depth).
+//   /accuracy  live obs::AccuracyLedger q-error percentiles as JSON.
+//   /explain   optimized plan dump without executing (debug).
+//
+// Every request is stamped with a process-unique request id that is
+// threaded through the obs::EventLog (`http.request.start/finish`
+// correlated with the `batch.*`/`query.*` events the request caused via
+// both the request id and the batch id), a ChromeTracer span on the
+// handling worker's timeline, and per-route latency / result-size
+// histograms plus admission gauges in the MetricsRegistry. Requests slower
+// than a threshold land in a JSONL slow-query log with their plan trace.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "engine/query_engine.h"
+#include "server/http_server.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace shapestats::server {
+
+/// Concurrency cap + bounded wait queue + load shedding for the /sparql
+/// route. Thread-safe. Admitted callers must Release() exactly once.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Requests executing concurrently beyond this wait in the queue.
+    uint64_t max_inflight = 8;
+    /// Requests waiting beyond this are shed immediately (503).
+    uint64_t queue_limit = 32;
+    /// Queued requests that cannot start within this window are shed.
+    double max_queue_wait_ms = 2000;
+  };
+
+  enum class Outcome { kAdmitted, kShed };
+
+  explicit AdmissionController(Options options);
+
+  /// Blocks until an execution slot is free (bounded by queue_limit /
+  /// max_queue_wait_ms). kShed means the caller must answer 503.
+  Outcome Admit();
+  /// Frees the slot of an admitted request.
+  void Release();
+
+  int64_t inflight() const;
+  int64_t queued() const;
+  uint64_t admitted_total() const { return admitted_.load(std::memory_order_relaxed); }
+  uint64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Options options_;
+  mutable util::Mutex mu_;
+  std::condition_variable_any cv_;  // signalled with mu_ held
+  int64_t inflight_ SHAPESTATS_GUARDED_BY(mu_) = 0;
+  int64_t queued_ SHAPESTATS_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> shed_{0};
+};
+
+/// Append-only JSONL sink for requests over the latency threshold. Each
+/// line carries the request id, route, latency, status, query text, and the
+/// full obs::QueryTrace JSON (plan, per-step cardinalities, q-errors), so a
+/// slow request is diagnosable from the log alone.
+class SlowQueryLog {
+ public:
+  Status Open(const std::string& path);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void Append(const std::string& json_line);
+  uint64_t entries() const { return entries_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> entries_{0};
+  mutable util::Mutex mu_;
+  std::ofstream file_ SHAPESTATS_GUARDED_BY(mu_);
+};
+
+struct SparqlServerOptions {
+  HttpServer::Options http;
+  AdmissionController::Options admission;
+  /// Requests slower than this are appended to the slow-query log (and
+  /// counted in server.slow_queries either way).
+  double slow_query_ms = 250;
+  /// JSONL slow-query log path; empty disables the file (falls back to the
+  /// SHAPESTATS_SLOW_QUERY_LOG environment variable).
+  std::string slow_query_log;
+  /// Result rows rendered per response; beyond this the JSON is truncated
+  /// and flagged. 0 = unlimited.
+  uint64_t max_response_rows = 10000;
+  /// Collect a per-request obs::QueryTrace. Feeds the live AccuracyLedger
+  /// (exposed at /accuracy) and the slow-query log's plan dump; costs one
+  /// detailed estimate pass per request.
+  bool collect_traces = true;
+};
+
+class SparqlServer {
+ public:
+  /// The engine must outlive the server and is shared by all requests
+  /// (queries only read the finalized graph and statistics).
+  SparqlServer(const engine::QueryEngine* engine, SparqlServerOptions options = {});
+  ~SparqlServer();
+
+  SparqlServer(const SparqlServer&) = delete;
+  SparqlServer& operator=(const SparqlServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  /// Exposed for tests: occupy/release admission slots deterministically.
+  AdmissionController& admission() { return admission_; }
+  const SlowQueryLog& slow_query_log() const { return slow_log_; }
+  const SparqlServerOptions& options() const { return options_; }
+
+ private:
+  HttpResponse HandleSparql(const HttpRequest& req, uint64_t request_id,
+                            obs::QueryTrace* trace_out, uint64_t* batch_id,
+                            uint64_t* result_rows, bool* timed_out);
+  HttpResponse HandleExplain(const HttpRequest& req);
+  HttpResponse HandleMetrics(const HttpRequest& req);
+  HttpResponse HandleHealthz(const HttpRequest& req);
+  HttpResponse HandleAccuracy(const HttpRequest& req);
+
+  /// Registers `path` wrapped with the common per-request instrumentation:
+  /// request id allocation, http.request.* events, Chrome span, per-route
+  /// latency/result-size histograms and status counters.
+  void Route(const std::string& path,
+             std::function<HttpResponse(const HttpRequest&, uint64_t request_id)> fn);
+
+  const engine::QueryEngine* engine_;
+  SparqlServerOptions options_;
+  AdmissionController admission_;
+  SlowQueryLog slow_log_;
+  HttpServer http_;
+  double start_ms_ = 0;  // process-clock timestamp of Start()
+};
+
+}  // namespace shapestats::server

@@ -131,6 +131,86 @@ TEST(MetricsRegistry, ToTextListsInstruments) {
   EXPECT_NE(text.find("ms"), std::string::npos);
 }
 
+TEST(MetricsRegistry, GaugeSetAddSubAndExport) {
+  obs::MetricsRegistry reg;
+  obs::Gauge* depth = reg.GetGauge("queue.depth");
+  EXPECT_EQ(depth, reg.GetGauge("queue.depth"));  // stable identity
+  depth->Set(5);
+  depth->Add(3);
+  depth->Sub(2);
+  EXPECT_EQ(depth->value(), 6);
+  depth->Sub(10);
+  EXPECT_EQ(depth->value(), -4);  // gauges may go negative, unlike counters
+
+  obs::MetricsSnapshot snap = reg.Snap();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "queue.depth");
+  EXPECT_EQ(snap.gauges[0].value, -4);
+  EXPECT_NE(reg.ToJson().find("\"gauges\""), std::string::npos);
+
+  reg.ResetAll();
+  EXPECT_EQ(depth->value(), 0);
+}
+
+TEST(Prometheus, NameSanitization) {
+  EXPECT_EQ(obs::PrometheusName("server.latency_ms./sparql"),
+            "server_latency_ms__sparql");
+  EXPECT_EQ(obs::PrometheusName("already_ok:name"), "already_ok:name");
+  EXPECT_EQ(obs::PrometheusName("2xx.rate"), "_2xx_rate");  // no leading digit
+  EXPECT_EQ(obs::PrometheusName(""), "_");
+}
+
+TEST(Prometheus, CounterAndGaugeExposition) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("server.http.requests")->Add(12);
+  reg.GetGauge("server.queue_depth")->Set(3);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE server_http_requests counter\n"
+                      "server_http_requests 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_queue_depth gauge\n"
+                      "server_queue_depth 3\n"),
+            std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeWithSumAndCount) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("latency.ms");
+  // Buckets: 0.5 -> [0,1), 3 -> [2,4), 3 again, 20 -> [16,32).
+  h->Observe(0.5);
+  h->Observe(3);
+  h->Observe(3);
+  h->Observe(20);
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE latency_ms histogram"), std::string::npos);
+  // Cumulative counts at each bucket's exclusive upper edge.
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"4\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"32\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_sum 26.5\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count 4\n"), std::string::npos);
+  // Cumulative series must be monotone: every le count <= the +Inf count.
+  size_t pos = 0;
+  uint64_t prev = 0;
+  while ((pos = text.find("latency_ms_bucket{", pos)) != std::string::npos) {
+    size_t sp = text.find("} ", pos);
+    uint64_t v = std::stoull(text.substr(sp + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    pos = sp;
+  }
+}
+
+TEST(Prometheus, EmptyHistogramStillEmitsInfSumCount) {
+  obs::MetricsRegistry reg;
+  reg.GetHistogram("unused.ms");
+  std::string text = reg.ToPrometheus();
+  EXPECT_NE(text.find("unused_ms_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("unused_ms_sum 0\n"), std::string::npos);
+  EXPECT_NE(text.find("unused_ms_count 0\n"), std::string::npos);
+}
+
 TEST(QErrorTest, MatchesPaperDefinition) {
   EXPECT_DOUBLE_EQ(obs::QError(10, 10), 1.0);
   EXPECT_DOUBLE_EQ(obs::QError(100, 10), 10.0);

@@ -17,6 +17,14 @@
 // Usage:
 //   bench_diff <baseline.json> <candidate.json>
 //       [--timing-max-ratio R] [--timing-min-ms M] [--counter-rel-tol T]
+//
+// Exit codes:
+//   0  no regressions
+//   1  candidate regressed against the baseline
+//   2  usage error, or candidate file missing / unparsable
+//   3  baseline file missing / unparsable — distinct so CI can tell "the
+//      checked-in baseline is broken or was never generated" apart from a
+//      real regression and from a bad invocation
 #include <algorithm>
 #include <cctype>
 #include <cmath>
@@ -146,17 +154,25 @@ class JsonParser {
   std::map<std::string, std::string>* out_ = nullptr;
 };
 
-bool ReadFlatJson(const char* path, std::map<std::string, std::string>* out) {
+// `role` is "baseline" or "candidate"; it makes the diagnostic say which
+// side of the comparison is broken.
+bool ReadFlatJson(const char* path, const char* role,
+                  std::map<std::string, std::string>* out) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "bench_diff: cannot open %s\n", path);
+    std::fprintf(stderr, "bench_diff: cannot open %s file %s\n", role, path);
     return false;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string text = buf.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "bench_diff: %s file %s is empty\n", role, path);
+    return false;
+  }
   if (!JsonParser(text).Parse(out)) {
-    std::fprintf(stderr, "bench_diff: %s is not valid telemetry JSON\n", path);
+    std::fprintf(stderr, "bench_diff: %s file %s is not valid telemetry JSON\n",
+                 role, path);
     return false;
   }
   return true;
@@ -206,7 +222,14 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, std::string> base, cand;
-  if (!ReadFlatJson(baseline_path, &base) || !ReadFlatJson(candidate_path, &cand)) {
+  if (!ReadFlatJson(baseline_path, "baseline", &base)) {
+    std::fprintf(stderr,
+                 "bench_diff: regenerate the baseline by running the bench "
+                 "with SHAPESTATS_BENCH_DIR set and checking in the "
+                 "emitted BENCH_<name>.json\n");
+    return 3;
+  }
+  if (!ReadFlatJson(candidate_path, "candidate", &cand)) {
     return 2;
   }
 
