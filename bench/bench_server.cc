@@ -247,6 +247,41 @@ int main() {
     return 1;
   }
 
+  // --- statically-empty phase: the checker answers without executing ------
+  // An unknown-predicate query is provably empty; the server must answer
+  // 200 with zero bindings and a "static_verdict" annotation, and the
+  // engine short-circuits before the optimizer/executor ever run.
+  const std::string kEmptyQuery =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x ub:holdsPatentOn ?p }";
+  constexpr int kStaticRequests = 10;
+  int static_ok = 0, static_annotated = 0;
+  {
+    int fd = ConnectTo(srv.port());
+    std::string carry;
+    for (int r = 0; r < kStaticRequests; ++r) {
+      std::string request = "GET /sparql?query=" + UrlEncode(kEmptyQuery) +
+                            " HTTP/1.1\r\nHost: bench\r\n\r\n";
+      std::string body;
+      if (SendAll(fd, request) && ReadResponse(fd, &carry, &body) == 200) {
+        ++static_ok;
+        if (body.find("\"static_verdict\":\"empty\"") != std::string::npos &&
+            body.find("\"bindings\":[]") != std::string::npos) {
+          ++static_annotated;
+        }
+      }
+    }
+    ::close(fd);
+  }
+  std::printf("statically-empty phase: %d/%d answered 200, %d annotated "
+              "with the empty verdict\n",
+              static_ok, kStaticRequests, static_annotated);
+  if (static_annotated != kStaticRequests) {
+    std::fprintf(stderr,
+                 "FATAL: statically-empty queries not short-circuited\n");
+    return 1;
+  }
+
   // --- overload phase: pinned slot, zero queue -> every request sheds -----
   server::SparqlServerOptions shed_opts;
   shed_opts.http.port = 0;
@@ -296,6 +331,8 @@ int main() {
   telemetry.Counter("server.ok", static_cast<double>(ok));
   telemetry.Counter("server.failed", static_cast<double>(failed));
   telemetry.Counter("server.overload_sheds", sheds_seen);
+  telemetry.Counter("server.static_empty_ok", static_ok);
+  telemetry.Counter("server.static_empty_annotated", static_annotated);
   telemetry.Counter("server.throughput_qps", qps);
   telemetry.Timing("server.wall_ms", wall_ms);
   telemetry.Timing("server.p50_ms", p50);

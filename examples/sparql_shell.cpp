@@ -15,6 +15,9 @@
 //                        estimated vs true cardinality, q-error, timings
 //   .lint <query>        static analysis only: unknown predicates/classes,
 //                        guaranteed-empty patterns, forced Cartesian products
+//   .check <query>       shape-aware satisfiability verdict (satisfiable /
+//                        empty / empty-by-stats) plus inferred class
+//                        constraints and lint findings, without executing
 //   .audit               audit global + shape statistics consistency
 //   .metrics             dump the process-wide metrics registry
 //   .metrics reset       zero every counter and histogram
@@ -142,8 +145,8 @@ int main(int argc, char** argv) {
     if (trimmed == ".help") {
       std::printf(
           ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
-          ".lint <query> | .audit | .metrics [reset] | .events [n] | "
-          ".accuracy | .trace <file> | .quit\n");
+          ".lint <query> | .check <query> | .audit | .metrics [reset] | "
+          ".events [n] | .accuracy | .trace <file> | .quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
     } else if (trimmed == ".audit") {
@@ -168,6 +171,24 @@ int main(int argc, char** argv) {
         std::printf("no findings\n");
       } else {
         std::fputs(analysis::ToText(*diags).c_str(), stdout);
+      }
+    } else if (StartsWith(trimmed, ".check")) {
+      std::string text = ReadQuery(trimmed.substr(6));
+      auto check = eng.StaticCheck(text);
+      if (!check.ok()) {
+        std::printf("error: %s\n", check.status().ToString().c_str());
+      } else {
+        std::printf("verdict: %s%s%s%s\n",
+                    analysis::SatisfiabilityName(check->verdict),
+                    check->rule.empty() ? "" : " (",
+                    check->rule.c_str(), check->rule.empty() ? "" : ")");
+        if (!check->inferred.empty()) {
+          std::printf("%zu inferred class anchor(s) feed the optimizer\n",
+                      check->inferred.size());
+        }
+        if (!check->diagnostics.empty()) {
+          std::fputs(analysis::ToText(check->diagnostics).c_str(), stdout);
+        }
       }
     } else if (trimmed == ".events" || StartsWith(trimmed, ".events ")) {
       size_t n = 20;

@@ -1,5 +1,6 @@
 #include "analysis/query_lint.h"
 
+#include <algorithm>
 #include <functional>
 #include <numeric>
 #include <string>
@@ -82,6 +83,50 @@ Diagnostics QueryLint::Lint(const sparql::EncodedBgp& bgp) const {
   }
 
   if (!out.empty()) lint_warnings->Add(out.size());
+  return out;
+}
+
+Diagnostics QueryLint::Lint(const sparql::ParsedQuery& query,
+                            const sparql::EncodedBgp& bgp) const {
+  static obs::Counter* lint_errors =
+      obs::MetricsRegistry::Global().GetCounter("analysis.lint_errors");
+  Diagnostics out = Lint(bgp);
+  const size_t warnings = out.size();
+
+  auto in_bgp = [&bgp](const std::string& name) {
+    return std::find(bgp.var_names.begin(), bgp.var_names.end(), name) !=
+           bgp.var_names.end();
+  };
+  // COUNT(*) projects only the aggregate alias, which never binds in the BGP.
+  if (!query.select_all && !query.count_aggregate) {
+    for (const sparql::Variable& v : query.projection) {
+      if (!in_bgp(v.name)) {
+        out.push_back({Severity::kError, "query.unbound-projection",
+                       "?" + v.name,
+                       "projected variable ?" + v.name +
+                           " never occurs in the BGP and can never be bound"});
+      }
+    }
+  }
+  for (const sparql::FilterComparison& f : query.filters) {
+    for (const sparql::PatternTerm* t : {&f.lhs, &f.rhs}) {
+      if (!sparql::IsVar(*t)) continue;
+      const std::string& name = sparql::AsVar(*t).name;
+      if (!in_bgp(name)) {
+        out.push_back({Severity::kError, "query.unbound-filter", "?" + name,
+                       "FILTER variable ?" + name +
+                           " never occurs in the BGP; the filter cannot be "
+                           "evaluated"});
+      }
+    }
+  }
+  if (query.order_by && !in_bgp(query.order_by->var.name)) {
+    out.push_back({Severity::kError, "query.unbound-order-by",
+                   "?" + query.order_by->var.name,
+                   "ORDER BY variable ?" + query.order_by->var.name +
+                       " never occurs in the BGP"});
+  }
+  if (out.size() > warnings) lint_errors->Add(out.size() - warnings);
   return out;
 }
 

@@ -4,18 +4,26 @@
 // the stats_lint tool. Lint findings never block execution — a query that
 // can only return the empty answer is still a valid query.
 //
-// Rule catalog (all severity warning):
+// Rule catalog (severity warning):
 //   query.missing-constant   a constant does not occur in the dataset, so the
 //                            pattern (and the whole BGP) matches nothing
 //   query.unknown-predicate  bound predicate with no triples in the dataset
 //   query.unknown-class      rdf:type object names a class with no instances
 //   query.cartesian          the BGP's join graph is disconnected, forcing at
 //                            least one Cartesian product
+//
+// Degenerate-query rules (severity error — the executor would reject the
+// query with InvalidArgument anyway; linting them statically lets the
+// serving plane answer 400 with structured diagnostics before admission):
+//   query.unbound-projection  a projected variable never occurs in the BGP
+//   query.unbound-filter      a FILTER variable never occurs in the BGP
+//   query.unbound-order-by    the ORDER BY variable never occurs in the BGP
 #pragma once
 
 #include "analysis/diagnostics.h"
 #include "rdf/dictionary.h"
 #include "sparql/encoded_bgp.h"
+#include "sparql/query.h"
 #include "stats/global_stats.h"
 
 namespace shapestats::analysis {
@@ -27,6 +35,12 @@ class QueryLint {
 
   /// Lints the encoded BGP; publishes the analysis.lint_warnings counter.
   Diagnostics Lint(const sparql::EncodedBgp& bgp) const;
+
+  /// Full lint: the BGP rules above plus the error-severity degenerate-query
+  /// rules that need the parsed query (projection / FILTER / ORDER BY
+  /// variables that never occur in the BGP).
+  Diagnostics Lint(const sparql::ParsedQuery& query,
+                   const sparql::EncodedBgp& bgp) const;
 
  private:
   const stats::GlobalStats& gs_;

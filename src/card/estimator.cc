@@ -52,6 +52,24 @@ std::vector<TpEstimate> CardinalityEstimator::EstimateAll(
   return out;
 }
 
+std::vector<TpEstimate> CardinalityEstimator::EstimateAllAnchored(
+    const EncodedBgp& bgp,
+    const std::unordered_map<VarId, rdf::TermId>& extra) const {
+  auto anchors = ComputeShapeAnchors(bgp, gs_);
+  for (const auto& [var, cls] : extra) {
+    anchors.emplace(var, cls);  // explicit rdf:type anchors win
+  }
+  std::vector<TpEstimate> out;
+  out.reserve(bgp.patterns.size());
+  uint64_t global_n = 0, shape_n = 0;
+  for (const EncodedPattern& tp : bgp.patterns) {
+    out.push_back(EstimateDetailImpl(tp, anchors, &global_n, &shape_n).est);
+  }
+  if (global_n > 0) estimates_global_->Add(global_n);
+  if (shape_n > 0) estimates_shape_->Add(shape_n);
+  return out;
+}
+
 std::vector<TpEstimate> CardinalityEstimator::SeedEstimates(
     const EncodedBgp& bgp) const {
   std::vector<TpEstimate> out;
@@ -102,8 +120,12 @@ EstimateDetail CardinalityEstimator::EstimateDetailImpl(
 }
 
 std::vector<EstimateDetail> CardinalityEstimator::EstimateAllDetailed(
-    const EncodedBgp& bgp) const {
+    const EncodedBgp& bgp,
+    const std::unordered_map<VarId, rdf::TermId>* extra) const {
   auto anchors = ComputeShapeAnchors(bgp, gs_);
+  if (extra != nullptr) {
+    for (const auto& [var, cls] : *extra) anchors.emplace(var, cls);
+  }
   std::vector<EstimateDetail> out;
   out.reserve(bgp.patterns.size());
   uint64_t global_n = 0, shape_n = 0;

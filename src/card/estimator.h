@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "card/provider.h"
 #include "obs/metrics.h"
@@ -54,6 +55,14 @@ class CardinalityEstimator : public PlannerStatsProvider {
 
   std::vector<TpEstimate> EstimateAll(const sparql::EncodedBgp& bgp) const override;
 
+  /// EstimateAll with extra subject-variable anchors merged into the BGP's
+  /// rdf:type anchors — the static checker's proven sh:targetClass
+  /// memberships for untyped variables. Explicit rdf:type anchors win on
+  /// conflict.
+  std::vector<TpEstimate> EstimateAllAnchored(
+      const sparql::EncodedBgp& bgp,
+      const std::unordered_map<sparql::VarId, rdf::TermId>& extra) const;
+
   /// In shape mode, seeds the join ordering with the global estimates
   /// (the paper's first phase); in global mode this equals EstimateAll.
   std::vector<TpEstimate> SeedEstimates(
@@ -70,9 +79,13 @@ class CardinalityEstimator : public PlannerStatsProvider {
       const sparql::EncodedPattern& tp,
       const std::unordered_map<sparql::VarId, rdf::TermId>& anchors) const;
 
-  /// Detailed estimates for the whole BGP (anchors computed internally).
+  /// Detailed estimates for the whole BGP (anchors computed internally,
+  /// optionally merged with inferred `extra` anchors as in
+  /// EstimateAllAnchored).
   std::vector<EstimateDetail> EstimateAllDetailed(
-      const sparql::EncodedBgp& bgp) const;
+      const sparql::EncodedBgp& bgp,
+      const std::unordered_map<sparql::VarId, rdf::TermId>* extra =
+          nullptr) const;
 
   StatsMode mode() const { return mode_; }
 
@@ -111,6 +124,35 @@ class CardinalityEstimator : public PlannerStatsProvider {
   obs::Counter* estimates_shape_;
   obs::Counter* shape_cache_hits_;
   obs::Counter* shape_cache_misses_;
+};
+
+/// Per-query provider view over a CardinalityEstimator that merges the
+/// static checker's inferred class anchors (ShapeCheckResult::InferredAnchors)
+/// into every estimate, giving anchored shape statistics to patterns whose
+/// subject variable carries no explicit rdf:type pattern. Constructed on the
+/// stack by the engine for the one query the anchors belong to (VarIds are
+/// per-BGP); seed estimates stay global per the paper's two-phase scheme.
+class AnchoredEstimator : public PlannerStatsProvider {
+ public:
+  AnchoredEstimator(const CardinalityEstimator& base,
+                    std::unordered_map<sparql::VarId, rdf::TermId> extra)
+      : base_(base), extra_(std::move(extra)) {}
+
+  std::string name() const override { return base_.name(); }
+
+  std::vector<TpEstimate> EstimateAll(
+      const sparql::EncodedBgp& bgp) const override {
+    return base_.EstimateAllAnchored(bgp, extra_);
+  }
+
+  std::vector<TpEstimate> SeedEstimates(
+      const sparql::EncodedBgp& bgp) const override {
+    return base_.SeedEstimates(bgp);
+  }
+
+ private:
+  const CardinalityEstimator& base_;
+  std::unordered_map<sparql::VarId, rdf::TermId> extra_;
 };
 
 }  // namespace shapestats::card

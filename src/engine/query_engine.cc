@@ -109,8 +109,16 @@ Result<QueryEngine> QueryEngine::FromNTriplesFile(const std::string& path,
   return Open(std::move(graph), options);
 }
 
-Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp,
-                                         obs::PlannerTrace* trace) const {
+analysis::ShapeChecker QueryEngine::Checker() const {
+  return analysis::ShapeChecker(
+      state_->gs,
+      state_->shapes.NumNodeShapes() > 0 ? &state_->shapes : nullptr,
+      state_->graph.dict());
+}
+
+Result<opt::Plan> QueryEngine::PlanQuery(
+    const sparql::EncodedBgp& bgp, obs::PlannerTrace* trace,
+    const std::unordered_map<sparql::VarId, rdf::TermId>* inferred) const {
   opt::Plan plan;
   if (state_->estimator == nullptr) {
     plan.provider = "textual";
@@ -128,6 +136,12 @@ Result<opt::Plan> QueryEngine::PlanQuery(const sparql::EncodedBgp& bgp,
       }
       plan.has_cartesian = !joins;
     }
+  } else if (inferred != nullptr && !inferred->empty()) {
+    // Static-checker-proven class anchors tighten the shape estimates for
+    // untyped subject variables (per-query provider view; the shared
+    // estimator stays untouched).
+    card::AnchoredEstimator anchored(*state_->estimator, *inferred);
+    plan = opt::PlanJoinOrder(bgp, anchored, trace);
   } else {
     plan = opt::PlanJoinOrder(bgp, *state_->estimator, trace);
   }
@@ -153,6 +167,18 @@ Result<analysis::Diagnostics> QueryEngine::Lint(std::string_view sparql) const {
                  .Str("first_rule", diags.front().rule));
   }
   return diags;
+}
+
+Result<analysis::ShapeCheckResult> QueryEngine::StaticCheck(
+    std::string_view sparql) const {
+  ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
+  sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
+  analysis::Diagnostics lint =
+      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(query, bgp);
+  analysis::ShapeCheckResult check = Checker().Check(query, bgp);
+  check.diagnostics.insert(check.diagnostics.begin(), lint.begin(),
+                           lint.end());
+  return check;
 }
 
 void QueryEngine::FillStepTraces(const sparql::ParsedQuery& query,
@@ -244,8 +270,79 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                  .Str("query_shape", sparql::QueryShapeName(result.shape))
                  .Uint("patterns", bgp.patterns.size()));
   }
+
+  // Shape-aware static check: a provably-empty BGP is answered with zero
+  // rows right here, skipping optimize + execute; a satisfiable one may
+  // still contribute inferred class anchors to the estimator.
+  std::unordered_map<sparql::VarId, rdf::TermId> inferred_anchors;
+  if (state_->options.static_check) {
+    static obs::Counter* short_circuits =
+        obs::MetricsRegistry::Global().GetCounter(
+            "static_check.short_circuits");
+    analysis::ShapeCheckResult check = Checker().Check(query, bgp);
+    if (trace != nullptr) {
+      trace->static_verdict = analysis::SatisfiabilityName(check.verdict);
+      trace->AddPhase("static-check", phase.ElapsedMs());
+      phase.Reset();
+    }
+    if (log.active() &&
+        (check.provably_empty() || !check.inferred.empty())) {
+      log.Emit(obs::Event("query.static")
+                   .Str("verdict", analysis::SatisfiabilityName(check.verdict))
+                   .Str("rule", check.rule)
+                   .Uint("findings", check.diagnostics.size())
+                   .Uint("inferred", check.inferred.size()));
+    }
+    if (check.provably_empty()) {
+      // Degenerate queries (unbound projection / FILTER / ORDER BY
+      // variables) must keep failing exactly as the executor would fail
+      // them — only clean queries take the short-circuit.
+      analysis::Diagnostics full_lint =
+          analysis::QueryLint(state_->gs, state_->graph.dict())
+              .Lint(query, bgp);
+      if (!analysis::HasErrors(full_lint)) {
+        result.plan.provider = "static-empty";
+        if (query.is_ask) {
+          result.ask = false;
+        } else if (query.count_aggregate) {
+          result.count = 0;
+        } else if (query.select_all) {
+          result.table.var_names = bgp.var_names;
+        } else {
+          for (const sparql::Variable& v : query.projection) {
+            result.table.var_names.push_back(v.name);
+          }
+        }
+        result.plan_ms = timer.ElapsedMs();
+        result.total_ms = result.plan_ms;
+        queries->Add();
+        query_ms->Observe(result.total_ms);
+        short_circuits->Add();
+        if (trace != nullptr) {
+          trace->optimizer = result.plan.provider;
+          trace->query_shape = sparql::QueryShapeName(result.shape);
+          trace->num_results = 0;
+          trace->total_ms = result.total_ms;
+        }
+        if (log.active()) {
+          log.Emit(obs::Event("query.finish")
+                       .Str("optimizer", result.plan.provider)
+                       .Str("query_shape", sparql::QueryShapeName(result.shape))
+                       .Uint("results", 0)
+                       .Bool("timed_out", false)
+                       .Num("ms", result.total_ms));
+        }
+        return result;
+      }
+    }
+    if (state_->options.infer_constraints && !check.inferred.empty()) {
+      inferred_anchors = check.InferredAnchors(state_->gs);
+    }
+  }
+
   ASSIGN_OR_RETURN(result.plan,
-                   PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr));
+                   PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr,
+                             &inferred_anchors));
   result.plan_ms = timer.ElapsedMs();
   exec::ExecOptions eopts = state_->options.exec;
   if (trace != nullptr) {
@@ -276,7 +373,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
   // feed the accuracy ledger. Only computed for traced executions.
   std::vector<card::EstimateDetail> details;
   if (trace != nullptr && state_->estimator != nullptr) {
-    details = state_->estimator->EstimateAllDetailed(bgp);
+    details = state_->estimator->EstimateAllDetailed(bgp, &inferred_anchors);
     trace->AddPhase("estimate", phase.ElapsedMs());
     phase.Reset();
   }
@@ -439,10 +536,31 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
 Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
   ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
   sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
-  ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp));
+
+  analysis::ShapeCheckResult check;
+  std::unordered_map<sparql::VarId, rdf::TermId> inferred_anchors;
+  if (state_->options.static_check) {
+    check = Checker().Check(query, bgp);
+    if (state_->options.infer_constraints) {
+      inferred_anchors = check.InferredAnchors(state_->gs);
+    }
+  }
+  ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp, nullptr, &inferred_anchors));
 
   std::string out = "plan (" + plan.provider + " optimizer, query shape: " +
                     sparql::QueryShapeName(sparql::ClassifyShape(bgp)) + ")\n";
+  if (state_->options.static_check) {
+    out += "static check: " + std::string(analysis::SatisfiabilityName(
+                                  check.verdict));
+    if (check.provably_empty()) {
+      out += " (" + check.rule + "; the query returns zero rows without "
+             "executing this plan)";
+    } else if (!check.inferred.empty()) {
+      out += " (" + std::to_string(check.inferred.size()) +
+             " inferred class anchor(s) feed the estimates below)";
+    }
+    out += "\n";
+  }
   for (size_t step = 0; step < plan.order.size(); ++step) {
     uint32_t tp = plan.order[step];
     out += "  " + std::to_string(step + 1) + ". " +
@@ -464,8 +582,9 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
            WithCommas(static_cast<uint64_t>(plan.total_cost)) + "\n";
   }
   analysis::Diagnostics lint =
-      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
+      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(query, bgp);
   if (!lint.empty()) out += analysis::ToText(lint);
+  if (!check.diagnostics.empty()) out += analysis::ToText(check.diagnostics);
   return out;
 }
 
@@ -486,7 +605,22 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   trace.AddPhase("encode", phase.ElapsedMs());
   phase.Reset();
 
-  ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp, &trace.planner));
+  // EXPLAIN ANALYZE executes in full even for provably-empty verdicts — the
+  // profiling run doubles as a live soundness check of the static analyzer.
+  analysis::ShapeCheckResult check;
+  std::unordered_map<sparql::VarId, rdf::TermId> inferred_anchors;
+  if (state_->options.static_check) {
+    check = Checker().Check(query, bgp);
+    trace.static_verdict = analysis::SatisfiabilityName(check.verdict);
+    if (state_->options.infer_constraints) {
+      inferred_anchors = check.InferredAnchors(state_->gs);
+    }
+    trace.AddPhase("static-check", phase.ElapsedMs());
+    phase.Reset();
+  }
+
+  ASSIGN_OR_RETURN(opt::Plan plan,
+                   PlanQuery(bgp, &trace.planner, &inferred_anchors));
   trace.AddPhase("plan", phase.ElapsedMs());
   phase.Reset();
   trace.optimizer = plan.provider;
@@ -497,7 +631,7 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   // formula produced each TP estimate), for the step annotations.
   std::vector<card::EstimateDetail> details;
   if (state_->estimator != nullptr) {
-    details = state_->estimator->EstimateAllDetailed(bgp);
+    details = state_->estimator->EstimateAllDetailed(bgp, &inferred_anchors);
   }
   trace.AddPhase("estimate", phase.ElapsedMs());
   phase.Reset();
@@ -514,14 +648,31 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   FillStepTraces(query, bgp, plan, details, run.step_cards, &trace,
                  /*record=*/!run.timed_out);
 
+  // Live soundness cross-check: a provably-empty verdict that observed any
+  // result is an analyzer bug (counted, never silently ignored).
+  if (check.provably_empty() && run.num_results > 0) {
+    static obs::Counter* violations =
+        obs::MetricsRegistry::Global().GetCounter("static_check.violations");
+    violations->Add();
+    obs::EventLog& log = obs::EventLog::Global();
+    if (log.active()) {
+      log.Emit(obs::Event("static_check.violation")
+                   .Str("rule", check.rule)
+                   .Uint("results", run.num_results));
+    }
+  }
+
   trace.total_ms = total.ElapsedMs();
   analyzes->Add();
   out.text = trace.ToTable();
-  // Lint findings ride along so .analyze shows why a query was empty or
-  // needed a Cartesian product.
+  // Lint and checker findings ride along so .analyze shows why a query was
+  // empty or needed a Cartesian product.
   analysis::Diagnostics lint =
-      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(bgp);
+      analysis::QueryLint(state_->gs, state_->graph.dict()).Lint(query, bgp);
   if (!lint.empty()) out.text += analysis::ToText(lint);
+  if (!check.diagnostics.empty()) {
+    out.text += analysis::ToText(check.diagnostics);
+  }
   out.json = trace.ToJson();
   return out;
 }

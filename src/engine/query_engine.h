@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "analysis/diagnostics.h"
+#include "analysis/shape_check.h"
 #include "card/estimator.h"
 #include "exec/select_executor.h"
 #include "obs/accuracy_ledger.h"
@@ -41,6 +42,17 @@ struct EngineOptions {
   /// the default pool for ExecuteBatch. Null means util::ThreadPool::Shared()
   /// (sized by SHAPESTATS_THREADS). Must outlive the engine.
   util::ThreadPool* pool = nullptr;
+  /// Run the shape-aware static checker (analysis::ShapeChecker) before
+  /// planning. A provably-empty verdict short-circuits to a zero-row result
+  /// without invoking the optimizer or executor (static_check.* counters,
+  /// query.static event); degenerate queries the executor would reject are
+  /// never short-circuited, so error behavior is unchanged.
+  bool static_check = true;
+  /// Hand the checker's proven class memberships for untyped subject
+  /// variables to the cardinality estimator as extra shape anchors
+  /// (tighter SS plans). No effect when static_check is off or the
+  /// optimizer has no shape statistics.
+  bool infer_constraints = true;
 };
 
 const char* OptimizerName(EngineOptions::Optimizer opt);
@@ -138,6 +150,14 @@ class QueryEngine {
   /// products). Does not plan or execute.
   Result<analysis::Diagnostics> Lint(std::string_view sparql) const;
 
+  /// Full static check without planning or executing: query lint (including
+  /// the error-severity degenerate-query rules) merged with the
+  /// ShapeChecker's satisfiability verdict and inferred constraints. The
+  /// serving plane answers 400 from the error findings and annotates
+  /// statically-empty queries with the verdict; stats_lint --queries and the
+  /// shell's .check expose the same result offline.
+  Result<analysis::ShapeCheckResult> StaticCheck(std::string_view sparql) const;
+
   /// EXPLAIN ANALYZE: plans the query, executes it once on the profiling
   /// executor, and reports per-step estimated vs. true cardinality with
   /// q-error, rows scanned and index probes, plus per-phase timings —
@@ -172,8 +192,15 @@ class QueryEngine {
 
   QueryEngine() = default;
 
-  Result<opt::Plan> PlanQuery(const sparql::EncodedBgp& bgp,
-                              obs::PlannerTrace* trace = nullptr) const;
+  /// `inferred` optionally carries the static checker's proven class
+  /// anchors, merged into the estimator's rdf:type anchors for this query.
+  Result<opt::Plan> PlanQuery(
+      const sparql::EncodedBgp& bgp, obs::PlannerTrace* trace = nullptr,
+      const std::unordered_map<sparql::VarId, rdf::TermId>* inferred =
+          nullptr) const;
+
+  /// Checker over this engine's statistics (shapes only when present).
+  analysis::ShapeChecker Checker() const;
 
   /// Builds trace->steps from the plan, the per-pattern estimate details,
   /// and the executor's measured per-step cardinalities (also classifying

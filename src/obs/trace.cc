@@ -50,6 +50,9 @@ std::string QueryTrace::ToJson() const {
   out += "\"query\":\"" + JsonEscape(query) + "\"";
   out += ",\"optimizer\":\"" + JsonEscape(optimizer) + "\"";
   out += ",\"query_shape\":\"" + JsonEscape(query_shape) + "\"";
+  if (!static_verdict.empty()) {
+    out += ",\"static_verdict\":\"" + JsonEscape(static_verdict) + "\"";
+  }
   out += ",\"phases\":[";
   for (size_t i = 0; i < phases.size(); ++i) {
     if (i) out += ",";
@@ -101,6 +104,9 @@ std::string QueryTrace::ToJson() const {
 std::string QueryTrace::ToTable() const {
   std::string out = "query plan analysis (" + optimizer + " optimizer";
   if (!query_shape.empty()) out += ", query shape: " + query_shape;
+  if (!static_verdict.empty() && static_verdict != "satisfiable") {
+    out += ", static verdict: " + static_verdict;
+  }
   out += ")\n";
 
   if (!steps.empty()) {

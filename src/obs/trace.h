@@ -66,6 +66,10 @@ struct QueryTrace {
   std::string query;        // original SPARQL text
   std::string optimizer;    // provider label ("SS", "GS", "textual", ...)
   std::string query_shape;  // star / snowflake / complex
+  /// Static checker verdict ("satisfiable" / "empty" / "empty-by-stats"),
+  /// empty when the check did not run. A short-circuited query has no
+  /// plan/execute phases — the verdict explains why.
+  std::string static_verdict;
   std::vector<PhaseSpan> phases;
   PlannerTrace planner;
   ExecTrace exec;

@@ -47,18 +47,28 @@ std::string TermToJson(const rdf::Term& term) {
 /// the boolean form; COUNT(*) is rendered as a single integer binding.
 std::string ResultToJson(const engine::QueryResult& result,
                          const rdf::TermDictionary& dict, uint64_t max_rows,
-                         uint64_t* rows_rendered) {
+                         uint64_t* rows_rendered,
+                         const std::string& static_verdict = "") {
   if (result.ask.has_value()) {
     *rows_rendered = 1;
-    return std::string("{\"head\":{},\"boolean\":") +
-           (*result.ask ? "true" : "false") + "}\n";
+    std::string out = std::string("{\"head\":{},\"boolean\":") +
+                      (*result.ask ? "true" : "false");
+    if (!static_verdict.empty()) {
+      out += ",\"static_verdict\":" + JsonStr(static_verdict);
+    }
+    return out + "}\n";
   }
   if (result.count.has_value()) {
     *rows_rendered = 1;
-    return "{\"head\":{\"vars\":[\"count\"]},\"results\":{\"bindings\":[{"
-           "\"count\":{\"type\":\"literal\",\"value\":\"" +
-           std::to_string(*result.count) +
-           "\",\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}}]}}\n";
+    std::string out =
+        "{\"head\":{\"vars\":[\"count\"]},\"results\":{\"bindings\":[{"
+        "\"count\":{\"type\":\"literal\",\"value\":\"" +
+        std::to_string(*result.count) +
+        "\",\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}}]}";
+    if (!static_verdict.empty()) {
+      out += ",\"static_verdict\":" + JsonStr(static_verdict);
+    }
+    return out + "}\n";
   }
   const exec::ResultTable& table = result.table;
   std::string out = "{\"head\":{\"vars\":[";
@@ -85,6 +95,9 @@ std::string ResultToJson(const engine::QueryResult& result,
   }
   out += "]}";
   if (truncated) out += ",\"truncated\":true";
+  if (!static_verdict.empty()) {
+    out += ",\"static_verdict\":" + JsonStr(static_verdict);
+  }
   out += "}\n";
   *rows_rendered = rows;
   return out;
@@ -327,6 +340,39 @@ HttpResponse SparqlServer::HandleSparql(const HttpRequest& req,
             {}};
   }
 
+  // Static pre-check (parse + encode + lint + shape check; no planning, no
+  // execution): degenerate queries are rejected with structured diagnostics
+  // before they consume an admission slot, and a provably-empty verdict
+  // annotates the instant (engine-short-circuited) empty response below.
+  // Parse failures fall through so their error shape is unchanged.
+  static obs::Counter* static_rejects =
+      reg.GetCounter("server.sparql.static_rejects");
+  static obs::Counter* static_empty =
+      reg.GetCounter("server.sparql.static_empty");
+  std::string verdict;
+  if (Result<analysis::ShapeCheckResult> check = engine_->StaticCheck(query);
+      check.ok()) {
+    if (analysis::HasErrors(check->diagnostics)) {
+      static_rejects->Add();
+      queries_failed->Add();
+      obs::EventLog& log = obs::EventLog::Global();
+      if (log.active()) {
+        log.Emit(obs::Event("http.sparql.static_reject")
+                     .Uint("request_id", request_id)
+                     .Uint("findings", check->diagnostics.size()));
+      }
+      return {400, "application/json",
+              "{\"error\":\"static analysis rejected the query\","
+              "\"diagnostics\":" +
+                  analysis::ToJson(check->diagnostics) + "}\n",
+              {}};
+    }
+    if (check->provably_empty()) {
+      verdict = analysis::SatisfiabilityName(check->verdict);
+      static_empty->Add();
+    }
+  }
+
   if (admission_.Admit() == AdmissionController::Outcome::kShed) {
     obs::EventLog& log = obs::EventLog::Global();
     if (log.active()) {
@@ -366,10 +412,14 @@ HttpResponse SparqlServer::HandleSparql(const HttpRequest& req,
     *timed_out = slot->table.timed_out || (trace_out != nullptr && trace_out->timed_out);
     if (*timed_out) query_timeouts->Add();
     std::string body = ResultToJson(*slot, engine_->graph().dict(),
-                                    options_.max_response_rows, result_rows);
+                                    options_.max_response_rows, result_rows,
+                                    verdict);
     rows_hist->Observe(static_cast<double>(*result_rows));
     resp = {200, "application/sparql-results+json", std::move(body), {}};
     if (*timed_out) resp.extra_headers.emplace_back("X-Timed-Out", "true");
+    if (!verdict.empty()) {
+      resp.extra_headers.emplace_back("X-Static-Verdict", verdict);
+    }
   }
   resp.extra_headers.emplace_back("X-Batch-Id", std::to_string(batch.batch_id));
 
@@ -394,6 +444,9 @@ HttpResponse SparqlServer::HandleSparql(const HttpRequest& req,
                          ",\"ms\":" + std::to_string(exec_ms) +
                          ",\"status\":" + std::to_string(resp.status) +
                          ",\"query\":" + JsonStr(query);
+      if (!verdict.empty()) {
+        line += ",\"static_verdict\":" + JsonStr(verdict);
+      }
       if (trace_out != nullptr && !trace_out->query.empty()) {
         line += ",\"trace\":" + trace_out->ToJson();
       }

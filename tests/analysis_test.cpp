@@ -12,6 +12,7 @@
 
 #include "analysis/plan_verify.h"
 #include "analysis/query_lint.h"
+#include "analysis/shape_check.h"
 #include "analysis/stats_audit.h"
 #include "card/estimator.h"
 #include "engine/query_engine.h"
@@ -60,6 +61,17 @@ class AnalysisFixture : public ::testing::Test {
                                 body + "}");
     EXPECT_TRUE(q.ok()) << q.status().ToString();
     return sparql::EncodeBgp(*q, graph_.dict());
+  }
+
+  /// Runs the ShapeChecker on a full query (prefix added), with this
+  /// fixture's annotated shapes unless `with_shapes` is false.
+  ShapeCheckResult CheckQuery(const std::string& query_text,
+                              bool with_shapes = true) {
+    auto q = sparql::ParseQuery("PREFIX ex: <http://ex/>\n" + query_text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    EncodedBgp bgp = sparql::EncodeBgp(*q, graph_.dict());
+    return ShapeChecker(gs_, with_shapes ? &shapes_ : nullptr, graph_.dict())
+        .Check(*q, bgp);
   }
 
   rdf::TermId Pred(const char* iri) {
@@ -365,6 +377,209 @@ TEST_F(AnalysisFixture, LintCartesianProduct) {
       QueryLint(gs_, graph_.dict()).Lint(Encode("?x ex:p ?y . ?a ex:q ?b"));
   EXPECT_EQ(CountRule(diags, "query.cartesian"), 1u) << ToText(diags);
   EXPECT_EQ(diags.size(), 1u) << ToText(diags);
+}
+
+// --- ShapeChecker: satisfiability verdicts, one rule each ---
+
+TEST_F(AnalysisFixture, CheckSatisfiableQueryIsClean) {
+  auto r = CheckQuery("SELECT * WHERE { ?x a ex:C . ?x ex:p ?y }");
+  EXPECT_EQ(r.verdict, Satisfiability::kSatisfiable);
+  EXPECT_TRUE(r.rule.empty());
+  EXPECT_FALSE(r.provably_empty());
+  EXPECT_TRUE(r.diagnostics.empty()) << ToText(r.diagnostics);
+}
+
+TEST_F(AnalysisFixture, CheckMissingConstantIsEmpty) {
+  auto r = CheckQuery("SELECT * WHERE { ?x ex:nosuch ?y }");
+  EXPECT_EQ(r.verdict, Satisfiability::kEmpty);
+  EXPECT_EQ(r.rule, "check.missing-constant");
+  EXPECT_EQ(CountRule(r.diagnostics, "check.missing-constant"), 1u)
+      << ToText(r.diagnostics);
+}
+
+TEST_F(AnalysisFixture, CheckUnknownPredicateIsEmpty) {
+  // ex:o1 is in the dictionary (as an object) but is no predicate and no
+  // property shape path.
+  auto r = CheckQuery("SELECT * WHERE { ?x ex:o1 ?y }");
+  EXPECT_EQ(r.verdict, Satisfiability::kEmpty);
+  EXPECT_EQ(r.rule, "check.unknown-predicate");
+}
+
+TEST_F(AnalysisFixture, CheckEmptyClassIsEmptyByStats) {
+  // ex:o1 exists in the dictionary but no entity is typed ex:o1.
+  auto r = CheckQuery("SELECT * WHERE { ?x a ex:o1 }");
+  EXPECT_EQ(r.verdict, Satisfiability::kEmptyByStats);
+  EXPECT_EQ(r.rule, "check.empty-class");
+}
+
+TEST_F(AnalysisFixture, CheckDisjointClassesIsEmptyByStats) {
+  // Every typed entity in kData has exactly one type, so C and D have
+  // provably disjoint instance sets.
+  auto r = CheckQuery("SELECT * WHERE { ?x a ex:C . ?x a ex:D }");
+  EXPECT_EQ(r.verdict, Satisfiability::kEmptyByStats);
+  EXPECT_EQ(r.rule, "check.disjoint-classes");
+}
+
+TEST_F(AnalysisFixture, CheckMaxCountConflictGlobalProof) {
+  // ex:q has count == DSC == 1: every subject carries exactly one q-triple,
+  // so forcing two distinct constant objects through it is unsatisfiable.
+  auto r = CheckQuery("SELECT * WHERE { ?x ex:q ex:o1 . ?x ex:q ex:o2 }");
+  EXPECT_EQ(r.verdict, Satisfiability::kEmptyByStats);
+  EXPECT_EQ(r.rule, "check.max-count-conflict");
+  // The proof needs no shapes — it holds in global-statistics mode too.
+  auto global_only =
+      CheckQuery("SELECT * WHERE { ?x ex:q ex:o1 . ?x ex:q ex:o2 }",
+                 /*with_shapes=*/false);
+  EXPECT_EQ(global_only.verdict, Satisfiability::kEmptyByStats);
+  EXPECT_EQ(global_only.rule, "check.max-count-conflict");
+}
+
+TEST_F(AnalysisFixture, CheckMaxCountConflictShapeProof) {
+  // Data where the global proof fails (ex:p count 4, DSC 3) but class C's
+  // property shape observed sh:maxCount 1 — the anchored subject still
+  // cannot have two distinct ex:p objects.
+  rdf::Graph g;
+  ASSERT_TRUE(rdf::ParseTurtle(R"(
+    @prefix ex: <http://ex/> .
+    ex:a a ex:C ; ex:p ex:o1 .
+    ex:b a ex:C ; ex:p ex:o1 .
+    ex:d a ex:D ; ex:p ex:o1, ex:o2 .
+  )",
+                               &g)
+                  .ok());
+  g.Finalize();
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+  auto shapes = shacl::GenerateShapes(g);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_TRUE(stats::AnnotateShapes(g, &*shapes).ok());
+
+  auto q = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/>\n"
+      "SELECT * WHERE { ?x a ex:C . ?x ex:p ex:o1 . ?x ex:p ex:o2 }");
+  ASSERT_TRUE(q.ok());
+  EncodedBgp bgp = sparql::EncodeBgp(*q, g.dict());
+  auto r = ShapeChecker(gs, &*shapes, g.dict()).Check(*q, bgp);
+  EXPECT_EQ(r.verdict, Satisfiability::kEmptyByStats);
+  EXPECT_EQ(r.rule, "check.max-count-conflict");
+
+  // Without shapes the conflict is not provable: D-instances do carry two
+  // distinct ex:p objects, so count != DSC and no global proof exists.
+  auto no_shapes = ShapeChecker(gs, nullptr, g.dict()).Check(*q, bgp);
+  EXPECT_EQ(no_shapes.verdict, Satisfiability::kSatisfiable);
+}
+
+TEST_F(AnalysisFixture, CheckEmptyProofOutranksStatsProof) {
+  auto r = CheckQuery(
+      "SELECT * WHERE { ?x a ex:C . ?x a ex:D . ?x ex:nosuch ?y }");
+  EXPECT_EQ(r.verdict, Satisfiability::kEmpty);
+  EXPECT_EQ(r.rule, "check.missing-constant");
+  EXPECT_EQ(CountRule(r.diagnostics, "check.disjoint-classes"), 1u)
+      << ToText(r.diagnostics);
+}
+
+TEST_F(AnalysisFixture, CheckDuplicateAndSubsumedPatternsWarn) {
+  auto dup = CheckQuery("SELECT * WHERE { ?x ex:p ?y . ?x ex:p ?y }");
+  EXPECT_EQ(dup.verdict, Satisfiability::kSatisfiable);
+  EXPECT_EQ(CountRule(dup.diagnostics, "check.duplicate-pattern"), 1u)
+      << ToText(dup.diagnostics);
+
+  auto sub = CheckQuery("SELECT ?x WHERE { ?x ex:p ex:o1 . ?x ex:p ?z }");
+  EXPECT_EQ(sub.verdict, Satisfiability::kSatisfiable);
+  EXPECT_EQ(CountRule(sub.diagnostics, "check.subsumed-pattern"), 1u)
+      << ToText(sub.diagnostics);
+}
+
+TEST_F(AnalysisFixture, CheckFilterContradictionAndTautology) {
+  auto contra =
+      CheckQuery("SELECT ?x WHERE { ?x ex:p ?y . FILTER(?x != ?x) }");
+  EXPECT_EQ(contra.verdict, Satisfiability::kEmpty);
+  EXPECT_EQ(contra.rule, "check.filter-contradiction");
+
+  auto taut = CheckQuery("SELECT ?x WHERE { ?x ex:p ?y . FILTER(?x = ?x) }");
+  EXPECT_EQ(taut.verdict, Satisfiability::kSatisfiable);
+  EXPECT_EQ(CountRule(taut.diagnostics, "check.filter-tautology"), 1u)
+      << ToText(taut.diagnostics);
+
+  // A self-comparison on a variable the BGP never binds is an execution
+  // error, not an empty result — the checker must not claim it. The parser
+  // rejects such text, so build the degenerate query by mutation.
+  auto q = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y }");
+  ASSERT_TRUE(q.ok());
+  q->filters.push_back({sparql::Variable{"z"}, sparql::CompareOp::kNe,
+                        sparql::Variable{"z"}});
+  EncodedBgp bgp = sparql::EncodeBgp(*q, graph_.dict());
+  auto unbound = ShapeChecker(gs_, &shapes_, graph_.dict()).Check(*q, bgp);
+  EXPECT_EQ(unbound.verdict, Satisfiability::kSatisfiable);
+  EXPECT_EQ(CountRule(unbound.diagnostics, "check.filter-contradiction"), 0u);
+}
+
+TEST_F(AnalysisFixture, CheckInfersClassForUntypedVariable) {
+  // ex:q occurs only in class D's property shapes and D's shape accounts
+  // for all 1 of its occurrences, so every q-subject is a D-instance.
+  auto r = CheckQuery("SELECT * WHERE { ?x ex:q ?y }");
+  EXPECT_EQ(r.verdict, Satisfiability::kSatisfiable);
+  ASSERT_EQ(r.inferred.size(), 1u) << ToText(r.diagnostics);
+  EXPECT_EQ(r.inferred[0].class_iri, "http://ex/D");
+  EXPECT_EQ(CountRule(r.diagnostics, "check.inferred-class"), 1u);
+
+  auto anchors = r.InferredAnchors(gs_);
+  ASSERT_EQ(anchors.size(), 1u);
+  EXPECT_EQ(anchors.begin()->second, *graph_.dict().FindIri("http://ex/D"));
+
+  // An explicit rdf:type pattern suppresses the (redundant) inference.
+  auto typed = CheckQuery("SELECT * WHERE { ?x a ex:D . ?x ex:q ?y }");
+  EXPECT_TRUE(typed.inferred.empty()) << ToText(typed.diagnostics);
+
+  // Without shapes there is nothing to infer from.
+  auto no_shapes =
+      CheckQuery("SELECT * WHERE { ?x ex:q ?y }", /*with_shapes=*/false);
+  EXPECT_TRUE(no_shapes.inferred.empty());
+}
+
+// --- QueryLint: full-query overload (degenerate-query error rules) ---
+
+TEST_F(AnalysisFixture, LintQueryOverloadFlagsUnboundReferences) {
+  // The parser already rejects unbound references in query text, so the
+  // overload's error rules guard hand-constructed queries (and keep the
+  // serving plane's 400 path honest). Build the degenerate cases by
+  // mutating a parsed query.
+  QueryLint lint(gs_, graph_.dict());
+  auto base = sparql::ParseQuery(
+      "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y }");
+  ASSERT_TRUE(base.ok());
+  auto run = [&](const std::function<void(sparql::ParsedQuery*)>& mutate) {
+    sparql::ParsedQuery q = *base;
+    mutate(&q);
+    return lint.Lint(q, sparql::EncodeBgp(q, graph_.dict()));
+  };
+
+  auto proj = run([](sparql::ParsedQuery* q) {
+    q->projection.push_back(sparql::Variable{"z"});
+  });
+  EXPECT_EQ(CountRule(proj, "query.unbound-projection"), 1u) << ToText(proj);
+  EXPECT_TRUE(HasErrors(proj));
+
+  auto filter = run([](sparql::ParsedQuery* q) {
+    q->filters.push_back({sparql::Variable{"w"}, sparql::CompareOp::kGt,
+                          sparql::Variable{"x"}});
+  });
+  EXPECT_EQ(CountRule(filter, "query.unbound-filter"), 1u) << ToText(filter);
+
+  auto order = run([](sparql::ParsedQuery* q) {
+    q->order_by = sparql::OrderKey{sparql::Variable{"w"}, false};
+  });
+  EXPECT_EQ(CountRule(order, "query.unbound-order-by"), 1u) << ToText(order);
+
+  auto clean = run([](sparql::ParsedQuery*) {});
+  EXPECT_FALSE(HasErrors(clean)) << ToText(clean);
+
+  // SELECT * never projects unbound names, whatever the projection holds.
+  auto star = run([](sparql::ParsedQuery* q) {
+    q->select_all = true;
+    q->projection.clear();
+  });
+  EXPECT_EQ(CountRule(star, "query.unbound-projection"), 0u) << ToText(star);
 }
 
 // --- engine integration: every produced plan verifies, lint surfaces ---

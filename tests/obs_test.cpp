@@ -258,6 +258,7 @@ TEST(Explain, GoldenPlanRendering) {
   // first, then joins advisor, then the Student type pattern.
   EXPECT_EQ(*plan,
             "plan (GS optimizer, query shape: snowflake)\n"
+            "static check: satisfiable\n"
             "  1. ?p <http://ex/teaches> ?c   [tp card ~2, step est ~2]\n"
             "  2. ?x <http://ex/advisor> ?p   [tp card ~3, step est ~3]\n"
             "  3. ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
@@ -317,11 +318,12 @@ TEST(ExplainAnalyze, PhaseSpansPopulatedAndNonNegative) {
   auto analyzed = eng.ExplainAnalyze(kTinyQuery);
   ASSERT_TRUE(analyzed.ok());
   const obs::QueryTrace& trace = analyzed->trace;
-  for (const char* name : {"parse", "encode", "plan", "estimate", "execute"}) {
+  for (const char* name :
+       {"parse", "encode", "static-check", "plan", "estimate", "execute"}) {
     double ms = trace.PhaseMs(name);
     EXPECT_GE(ms, 0.0) << "phase " << name << " missing or negative";
   }
-  EXPECT_EQ(trace.phases.size(), 5u);
+  EXPECT_EQ(trace.phases.size(), 6u);
   EXPECT_GE(trace.total_ms, 0.0);
 }
 

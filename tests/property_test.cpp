@@ -13,9 +13,12 @@
 #include <functional>
 
 #include "analysis/plan_verify.h"
+#include "analysis/shape_check.h"
 #include "analysis/stats_audit.h"
 #include "baselines/shex/shex_heuristic.h"
 #include "card/estimator.h"
+#include "datagen/lubm.h"
+#include "engine/query_engine.h"
 #include "exec/executor.h"
 #include "opt/join_order.h"
 #include "rdf/graph.h"
@@ -27,6 +30,8 @@
 #include "stats/annotator.h"
 #include "stats/global_stats.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
+#include "workload/queries.h"
 
 namespace shapestats {
 namespace {
@@ -257,6 +262,173 @@ TEST_P(PlanVerifierPropertyTest, AllProducedPlansVerify) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanVerifierPropertyTest,
                          ::testing::Values(101u, 202u, 303u, 404u));
+
+// --- ShapeChecker soundness: no non-satisfiable verdict ever contradicts
+// --- real execution ------------------------------------------------------
+
+// Like RandomTypedGraph, but the dictionary additionally knows a predicate
+// and a class that occur in no triple — bait for the unknown-predicate and
+// empty-class rules (which must stay sound, not just fire).
+rdf::Graph RandomBaitedGraph(Rng& rng, TermId* unused_pred,
+                             TermId* empty_class) {
+  rdf::Graph g;
+  TermId type = g.dict().InternIri(std::string(rdf::vocab::kRdfType));
+  std::vector<TermId> nodes, preds, classes;
+  for (int i = 0; i < 12; ++i) {
+    nodes.push_back(g.dict().InternIri("http://t/n" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    preds.push_back(g.dict().InternIri("http://t/p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    classes.push_back(g.dict().InternIri("http://t/C" + std::to_string(i)));
+  }
+  *unused_pred = g.dict().InternIri("http://t/unusedPred");
+  *empty_class = g.dict().InternIri("http://t/EmptyClass");
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    g.Add(nodes[i], type, classes[rng.Uniform(0, classes.size() - 1)]);
+  }
+  for (int i = 0; i < 60; ++i) {
+    g.Add(nodes[rng.Uniform(0, nodes.size() - 1)],
+          preds[rng.Uniform(0, preds.size() - 1)],
+          nodes[rng.Uniform(0, nodes.size() - 1)]);
+  }
+  g.Finalize();
+  return g;
+}
+
+class ShapeCheckerSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The checker's emptiness verdicts are proofs: whenever it says kEmpty or
+// kEmptyByStats, the brute-force oracle must count zero solutions — over
+// random BGPs salted with rdf:type patterns, dictionary-known-but-unused
+// constants, duplicated patterns, and with and without shape statistics.
+TEST_P(ShapeCheckerSoundnessTest, EmptyVerdictsNeverContradictExecution) {
+  Rng rng(GetParam());
+  TermId unused_pred = rdf::kInvalidTermId;
+  TermId empty_class = rdf::kInvalidTermId;
+  rdf::Graph g = RandomBaitedGraph(rng, &unused_pred, &empty_class);
+  stats::GlobalStats gs = stats::GlobalStats::Compute(g);
+  auto shapes = shacl::GenerateShapes(g);
+  ASSERT_TRUE(shapes.ok());
+  ASSERT_TRUE(stats::AnnotateShapes(g, &*shapes).ok());
+
+  analysis::ShapeChecker with_shapes(gs, &*shapes, g.dict());
+  analysis::ShapeChecker global_only(gs, nullptr, g.dict());
+  sparql::ParsedQuery query;  // SELECT * over the BGP, no filters
+  query.select_all = true;
+
+  int empty_verdicts = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    int n = static_cast<int>(rng.Uniform(1, 3));
+    EncodedBgp bgp = RandomBgp(rng, g, n, rng.UniformReal());
+    for (EncodedPattern& tp : bgp.patterns) {
+      double roll = rng.UniformReal();
+      if (roll < 0.25) {
+        // Turn into a type pattern over a real or empty class.
+        tp.p = EncodedTerm::Bound(gs.rdf_type_id);
+        if (rng.Chance(0.8)) {
+          tp.o = EncodedTerm::Bound(
+              rng.Chance(0.2) ? empty_class
+                              : *g.dict().FindIri("http://t/C" +
+                                                  std::to_string(rng.Uniform(
+                                                      0, 2))));
+        }
+      } else if (roll < 0.35) {
+        tp.p = EncodedTerm::Bound(unused_pred);
+      }
+    }
+    if (bgp.patterns.size() > 1 && rng.Chance(0.2)) {
+      bgp.patterns[1] = bgp.patterns[0];  // bait the redundancy rules
+      bgp.patterns[1].input_index = 1;
+    }
+    uint64_t truth = BruteForceCount(g, bgp);
+    for (const analysis::ShapeChecker* checker : {&with_shapes, &global_only}) {
+      analysis::ShapeCheckResult r = checker->Check(query, bgp);
+      if (r.provably_empty()) {
+        ++empty_verdicts;
+        EXPECT_EQ(truth, 0u)
+            << "seed " << GetParam() << " trial " << trial << " rule "
+            << r.rule << "\n"
+            << analysis::ToText(r.diagnostics);
+      }
+    }
+  }
+  // The salting guarantees the sweep actually exercises emptiness proofs.
+  EXPECT_GT(empty_verdicts, 0) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeCheckerSoundnessTest,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+// End-to-end soundness over a real workload: the engine's short-circuit
+// must be invisible in results. Every LUBM benchmark query — plus
+// statically-empty bait — returns identical row counts with the static
+// checker on and off, sequentially and under batched execution on
+// different pool sizes; provably-empty queries return zero rows via the
+// "static-empty" plan.
+TEST(ShapeCheckerSoundnessTest, EngineShortCircuitPreservesResults) {
+  datagen::LubmOptions lubm;
+  lubm.universities = 1;
+  auto checked = engine::QueryEngine::Open(datagen::GenerateLubm(lubm));
+  ASSERT_TRUE(checked.ok());
+  engine::EngineOptions unchecked_opts;
+  unchecked_opts.static_check = false;
+  auto unchecked =
+      engine::QueryEngine::Open(datagen::GenerateLubm(lubm), unchecked_opts);
+  ASSERT_TRUE(unchecked.ok());
+
+  std::vector<std::string> corpus;
+  for (const workload::BenchQuery& q : workload::LubmQueries()) {
+    corpus.push_back(q.text);
+  }
+  const size_t first_empty = corpus.size();
+  corpus.push_back(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x ub:holdsPatentOn ?p }");
+  corpus.push_back(
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x a ub:FullProfessor . "
+      "?x ub:name ?n . FILTER(?n != ?n) }");
+
+  // Sequential: identical outcomes, short-circuit visible only in the plan.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto on = checked->Execute(corpus[i]);
+    auto off = unchecked->Execute(corpus[i]);
+    ASSERT_TRUE(on.ok()) << corpus[i] << "\n" << on.status().ToString();
+    ASSERT_TRUE(off.ok()) << corpus[i];
+    EXPECT_EQ(on->table.rows.size(), off->table.rows.size()) << corpus[i];
+    EXPECT_EQ(on->count.has_value(), off->count.has_value());
+    if (on->count.has_value()) {
+      EXPECT_EQ(*on->count, *off->count);
+    }
+    if (i >= first_empty) {
+      EXPECT_EQ(on->table.rows.size(), 0u) << corpus[i];
+      EXPECT_EQ(on->plan.provider, "static-empty") << corpus[i];
+      EXPECT_NE(off->plan.provider, "static-empty") << corpus[i];
+    }
+  }
+
+  // Batched, across pool sizes: slot-aligned agreement with sequential.
+  util::ThreadPool one(1);
+  util::ThreadPool four(4);
+  for (util::ThreadPool* pool : {&one, &four}) {
+    engine::BatchOptions batch;
+    batch.pool = pool;
+    engine::BatchResult br = checked->ExecuteBatch(corpus, batch);
+    ASSERT_EQ(br.results.size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      ASSERT_TRUE(br.results[i].ok()) << corpus[i];
+      auto off = unchecked->Execute(corpus[i]);
+      ASSERT_TRUE(off.ok());
+      EXPECT_EQ(br.results[i]->table.rows.size(), off->table.rows.size())
+          << "pool " << pool->num_threads() << ": " << corpus[i];
+      if (i >= first_empty) {
+        EXPECT_EQ(br.results[i]->plan.provider, "static-empty");
+      }
+    }
+  }
+}
 
 TEST(ShexWeightsTest, PropagatesAlongMandatoryLinks) {
   shacl::ShapesGraph shapes;

@@ -474,6 +474,49 @@ TEST_F(SparqlServerFixture, BadQueriesAnswer400) {
   EXPECT_NE(parse_error.body.find("\"error\":"), std::string::npos);
 }
 
+TEST_F(SparqlServerFixture, StaticallyEmptyQueryShortCircuits) {
+  SparqlServer srv(engine_, ServerOptions());
+  ASSERT_TRUE(srv.Start().ok());
+
+  // A provably-empty query (unknown predicate) must be answered 200 with
+  // zero bindings and the verdict annotation, without the optimizer or the
+  // executor ever running — only the static_check counters may move.
+  obs::Counter* short_circuits = obs::MetricsRegistry::Global().GetCounter(
+      "static_check.short_circuits");
+  obs::Counter* plans = obs::MetricsRegistry::Global().GetCounter("opt.plans");
+  obs::Counter* select_runs =
+      obs::MetricsRegistry::Global().GetCounter("exec.select_runs");
+  obs::Counter* bgp_runs =
+      obs::MetricsRegistry::Global().GetCounter("exec.bgp_runs");
+  uint64_t short_circuits_before = short_circuits->value();
+  uint64_t plans_before = plans->value();
+  uint64_t select_runs_before = select_runs->value();
+  uint64_t bgp_runs_before = bgp_runs->value();
+
+  const char kEmptyQuery[] =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x ub:holdsPatentOn ?p }";
+  ClientResponse resp =
+      Get(srv.port(), "/sparql?query=" + UrlEncode(kEmptyQuery));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.Header("x-static-verdict"), "empty");
+  EXPECT_NE(resp.body.find("\"bindings\":[]"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("\"static_verdict\":\"empty\""), std::string::npos)
+      << resp.body;
+
+  EXPECT_EQ(short_circuits->value(), short_circuits_before + 1);
+  EXPECT_EQ(plans->value(), plans_before);
+  EXPECT_EQ(select_runs->value(), select_runs_before);
+  EXPECT_EQ(bgp_runs->value(), bgp_runs_before);
+
+  // A satisfiable query on the same server carries no verdict annotation.
+  ClientResponse ok = Get(srv.port(), "/sparql?query=" + UrlEncode(kLubmQuery));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.Header("x-static-verdict"), "");
+  EXPECT_EQ(ok.body.find("\"static_verdict\""), std::string::npos);
+  EXPECT_GT(plans->value(), plans_before);
+}
+
 TEST_F(SparqlServerFixture, ExplainDumpsPlanWithoutExecuting) {
   SparqlServer srv(engine_, ServerOptions());
   ASSERT_TRUE(srv.Start().ok());
