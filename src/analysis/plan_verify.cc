@@ -125,4 +125,124 @@ Diagnostics PlanVerifier::Verify(const opt::Plan& plan,
   return out;
 }
 
+Diagnostics PlanVerifier::Verify(const phys::PhysicalPlan& pplan,
+                                 const opt::Plan& plan,
+                                 const sparql::EncodedBgp& bgp) const {
+  static obs::Counter* verifications =
+      obs::MetricsRegistry::Global().GetCounter("analysis.phys_verifications");
+  static obs::Counter* violations =
+      obs::MetricsRegistry::Global().GetCounter("analysis.phys_violations");
+  verifications->Add();
+
+  Diagnostics out;
+  const size_t n = bgp.patterns.size();
+
+  if (pplan.steps.size() != plan.order.size()) {
+    out.push_back({Severity::kError, "phys.steps-size", "plan",
+                   "physical plan has " + std::to_string(pplan.steps.size()) +
+                       " steps for a join order of " +
+                       std::to_string(plan.order.size())});
+  }
+
+  std::vector<bool> bound(bgp.NumVars(), false);
+  for (size_t k = 0; k < pplan.steps.size(); ++k) {
+    const phys::PhysicalStep& st = pplan.steps[k];
+    if (k < plan.order.size() && st.pattern != plan.order[k]) {
+      out.push_back({Severity::kError, "phys.pattern-mismatch",
+                     StepSubject(k),
+                     "physical step executes pattern " +
+                         std::to_string(st.pattern) +
+                         " but the join order has pattern " +
+                         std::to_string(plan.order[k])});
+    }
+    if (st.pattern >= n) continue;  // the logical overload reports this
+    const sparql::EncodedPattern& tp = bgp.patterns[st.pattern];
+
+    if (k == 0 && st.op != phys::OpKind::kScan) {
+      out.push_back({Severity::kError, "phys.first-step", StepSubject(k),
+                     std::string("first step must be an index scan, got ") +
+                         phys::OpName(st.op)});
+    }
+
+    const bool is_join = st.op == phys::OpKind::kInlj ||
+                         st.op == phys::OpKind::kMerge ||
+                         st.op == phys::OpKind::kHash;
+    if (k > 0 && is_join && st.join_pos >= 0 && st.join_pos <= 2) {
+      const sparql::EncodedTerm& jt =
+          st.join_pos == 0 ? tp.s : (st.join_pos == 1 ? tp.p : tp.o);
+      if (!jt.is_var() || jt.id != st.join_var || st.join_var >= bound.size() ||
+          !bound[st.join_var]) {
+        out.push_back({Severity::kError, "phys.join-var-unbound",
+                       StepSubject(k),
+                       "join component " + std::to_string(st.join_pos) +
+                           " does not hold variable " +
+                           std::to_string(st.join_var) +
+                           " bound by the join prefix"});
+      }
+    } else if (k > 0 && is_join) {
+      out.push_back({Severity::kError, "phys.join-var-unbound", StepSubject(k),
+                     std::string(phys::OpName(st.op)) +
+                         " step has no join component"});
+    }
+
+    if (st.op == phys::OpKind::kMerge &&
+        !phys::MergeRunAvailable(tp, st.join_pos)) {
+      out.push_back({Severity::kError, "phys.merge-order-unavailable",
+                     StepSubject(k),
+                     "no index run sorted by component " +
+                         std::to_string(st.join_pos) +
+                         " exists for this pattern's constants"});
+    }
+
+    if (k > 0) {
+      bool joins = false;
+      for (const sparql::EncodedTerm* e : {&tp.s, &tp.p, &tp.o}) {
+        if (e->is_var() && e->id < bound.size() && bound[e->id]) joins = true;
+      }
+      if (st.op == phys::OpKind::kProduct && joins) {
+        out.push_back({Severity::kError, "phys.product-mislabel",
+                       StepSubject(k),
+                       "step labeled product but shares a variable with the "
+                       "join prefix"});
+      } else if (is_join && !joins) {
+        out.push_back({Severity::kError, "phys.product-mislabel",
+                       StepSubject(k),
+                       std::string("step labeled ") + phys::OpName(st.op) +
+                           " but shares no variable with the join prefix"});
+      }
+    }
+
+    if (st.op == phys::OpKind::kHash &&
+        (st.est_left > 0 || st.est_right > 0)) {
+      const bool want_right = st.est_right <= st.est_left;
+      if (st.build_right != want_right) {
+        out.push_back({Severity::kError, "phys.build-side", StepSubject(k),
+                       "hash build side is " +
+                           std::string(st.build_right ? "right" : "left") +
+                           " but estimates (left " +
+                           CompactDouble(st.est_left) + ", right " +
+                           CompactDouble(st.est_right) +
+                           ") favor the other side"});
+      }
+    }
+
+    if (!FiniteNonNegative(st.est_left) || !FiniteNonNegative(st.est_right) ||
+        !FiniteNonNegative(st.est_out)) {
+      out.push_back({Severity::kError, "phys.nonfinite-estimate",
+                     StepSubject(k),
+                     "operator estimates (left " + CompactDouble(st.est_left) +
+                         ", right " + CompactDouble(st.est_right) + ", out " +
+                         CompactDouble(st.est_out) +
+                         ") are not finite and non-negative"});
+    }
+
+    for (const sparql::EncodedTerm* e : {&tp.s, &tp.p, &tp.o}) {
+      if (e->is_var() && e->id < bound.size()) bound[e->id] = true;
+    }
+  }
+
+  if (!out.empty()) violations->Add(out.size());
+  return out;
+}
+
 }  // namespace shapestats::analysis

@@ -15,10 +15,25 @@
 //                              the plan is not flagged has_cartesian
 //   plan.nonfinite-estimate    negative, NaN or infinite estimate
 //   plan.cost-mismatch         total_cost != sum of step estimates
+//
+// Physical-plan rules (all severity error), applied to the operator
+// annotations a phys::PhysicalPlanner adds on top of the join order:
+//   phys.steps-size            physical step count != logical order length
+//   phys.pattern-mismatch      steps[k].pattern != order[k]
+//   phys.first-step            step 0 is not an index scan
+//   phys.join-var-unbound      join step whose join component is not a
+//                              variable bound by the join prefix
+//   phys.merge-order-unavailable  merge step without a sorted index run on
+//                              the join component (MergeRunAvailable)
+//   phys.product-mislabel      product step that shares a variable with the
+//                              prefix, or a join step that shares none
+//   phys.build-side            hash build side contradicts the estimates
+//   phys.nonfinite-estimate    negative, NaN or infinite operator estimate
 #pragma once
 
 #include "analysis/diagnostics.h"
 #include "opt/plan.h"
+#include "phys/physical_plan.h"
 #include "sparql/encoded_bgp.h"
 
 namespace shapestats::analysis {
@@ -29,6 +44,14 @@ class PlanVerifier {
   /// (empty when the plan is well-formed). Publishes
   /// analysis.plan_verifications / analysis.plan_violations counters.
   Diagnostics Verify(const opt::Plan& plan, const sparql::EncodedBgp& bgp) const;
+
+  /// Verifies the physical plan `pplan` against the logical `plan` it
+  /// annotates: operator/sort-order prerequisites, build-side consistency
+  /// and estimate sanity (the phys.* rule catalog above). Structural
+  /// problems of the logical plan itself are the other overload's job.
+  /// Publishes analysis.phys_verifications / analysis.phys_violations.
+  Diagnostics Verify(const phys::PhysicalPlan& pplan, const opt::Plan& plan,
+                     const sparql::EncodedBgp& bgp) const;
 };
 
 }  // namespace shapestats::analysis

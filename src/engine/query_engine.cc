@@ -12,6 +12,8 @@
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "opt/join_order.h"
+#include "phys/phys_executor.h"
+#include "phys/planner.h"
 #include "rdf/ntriples.h"
 #include "shacl/generator.h"
 #include "sparql/parser.h"
@@ -155,6 +157,23 @@ Result<opt::Plan> QueryEngine::PlanQuery(
   return plan;
 }
 
+Result<phys::PhysicalPlan> QueryEngine::PlanPhysicalFor(
+    const sparql::EncodedBgp& bgp, const opt::Plan& plan) const {
+  phys::PlannerOptions popts;
+  popts.mode = state_->options.join_mode;
+  phys::PhysicalPlan pplan =
+      phys::PlanPhysical(bgp, plan, state_->graph, popts);
+  if (state_->options.verify_plans) {
+    analysis::Diagnostics diags =
+        analysis::PlanVerifier().Verify(pplan, plan, bgp);
+    if (analysis::HasErrors(diags)) {
+      return Status::Internal("physical plan failed verification:\n" +
+                              analysis::ToText(diags));
+    }
+  }
+  return pplan;
+}
+
 Result<analysis::Diagnostics> QueryEngine::Lint(std::string_view sparql) const {
   ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
   sparql::EncodedBgp bgp = sparql::EncodeBgp(query, state_->graph.dict());
@@ -184,6 +203,7 @@ Result<analysis::ShapeCheckResult> QueryEngine::StaticCheck(
 void QueryEngine::FillStepTraces(const sparql::ParsedQuery& query,
                                  const sparql::EncodedBgp& bgp,
                                  const opt::Plan& plan,
+                                 const phys::PhysicalPlan* pplan,
                                  const std::vector<card::EstimateDetail>& details,
                                  const std::vector<uint64_t>& true_cards,
                                  obs::QueryTrace* trace, bool record) const {
@@ -193,7 +213,12 @@ void QueryEngine::FillStepTraces(const sparql::ParsedQuery& query,
     step.step = static_cast<uint32_t>(k + 1);
     step.pattern = tp;
     step.pattern_text = query.patterns[tp].ToString();
-    if (k == 0) {
+    if (pplan != nullptr && k < pplan->steps.size()) {
+      const phys::PhysicalStep& ps = pplan->steps[k];
+      step.join_type = phys::OpName(ps.op);
+      step.est_build = ps.est_left;
+      step.est_probe = ps.est_right;
+    } else if (k == 0) {
       step.join_type = "scan";
     } else {
       bool joins = false;
@@ -343,8 +368,17 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
   ASSIGN_OR_RETURN(result.plan,
                    PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr,
                              &inferred_anchors));
-  result.plan_ms = timer.ElapsedMs();
   exec::ExecOptions eopts = state_->options.exec;
+  // Physical operator selection rides inside the "plan" phase. ASK and
+  // LIMIT queries stay on the streaming depth-first executor (early
+  // termination beats materializing), recorded as a per-step downgrade.
+  ASSIGN_OR_RETURN(result.phys, PlanPhysicalFor(bgp, result.plan));
+  const bool pipelined =
+      query.is_ask || query.limit.has_value() || eopts.limit > 0;
+  if (pipelined && result.phys.Materializes()) {
+    phys::ForceInlj(&result.phys, "pipelined: ASK/LIMIT early termination");
+  }
+  result.plan_ms = timer.ElapsedMs();
   if (trace != nullptr) {
     trace->AddPhase("plan", phase.ElapsedMs());
     phase.Reset();
@@ -392,7 +426,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
       // they get step annotations but stay out of the accuracy ledger.
       bool exact = !query.is_ask && !query.limit.has_value() && !timed_out &&
                    !trace->exec.step_rows_produced.empty();
-      FillStepTraces(query, bgp, result.plan, details,
+      FillStepTraces(query, bgp, result.plan, &result.phys, details,
                      trace->exec.step_rows_produced, trace, exact);
     }
     if (log.active()) {
@@ -423,17 +457,30 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     counting.count_aggregate = false;
     counting.select_all = true;
     counting.projection.clear();
-    ASSIGN_OR_RETURN(exec::ResultTable table,
-                     exec::ExecuteSelect(state_->graph, counting, bgp,
-                                         result.plan.order, eopts));
+    exec::ResultTable table;
+    if (result.phys.Materializes()) {
+      ASSIGN_OR_RETURN(table,
+                       phys::ExecuteSelectPhysical(state_->graph, counting,
+                                                   bgp, result.phys, eopts));
+    } else {
+      ASSIGN_OR_RETURN(table,
+                       exec::ExecuteSelect(state_->graph, counting, bgp,
+                                           result.plan.order, eopts));
+    }
     result.count = table.bgp_matches;
     finish(table.bgp_matches, table.timed_out);
     return result;
   }
 
-  ASSIGN_OR_RETURN(result.table,
-                   exec::ExecuteSelect(state_->graph, query, bgp,
-                                       result.plan.order, eopts));
+  if (result.phys.Materializes()) {
+    ASSIGN_OR_RETURN(result.table,
+                     phys::ExecuteSelectPhysical(state_->graph, query, bgp,
+                                                 result.phys, eopts));
+  } else {
+    ASSIGN_OR_RETURN(result.table,
+                     exec::ExecuteSelect(state_->graph, query, bgp,
+                                         result.plan.order, eopts));
+  }
   finish(result.table.rows.size(), result.table.timed_out);
   return result;
 }
@@ -546,9 +593,14 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
     }
   }
   ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp, nullptr, &inferred_anchors));
+  ASSIGN_OR_RETURN(phys::PhysicalPlan pplan, PlanPhysicalFor(bgp, plan));
 
   std::string out = "plan (" + plan.provider + " optimizer, query shape: " +
                     sparql::QueryShapeName(sparql::ClassifyShape(bgp)) + ")\n";
+  if (!pplan.steps.empty()) {
+    out += "join mode: " + std::string(phys::JoinModeName(pplan.mode)) +
+           " -> " + pplan.Summary() + "\n";
+  }
   if (state_->options.static_check) {
     out += "static check: " + std::string(analysis::SatisfiabilityName(
                                   check.verdict));
@@ -572,6 +624,23 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
              WithCommas(static_cast<uint64_t>(plan.step_estimates[step])) + "]";
     }
     out += "\n";
+    if (step < pplan.steps.size()) {
+      const phys::PhysicalStep& ps = pplan.steps[step];
+      out += "       op: " + std::string(phys::OpName(ps.op));
+      if (ps.op == phys::OpKind::kHash) {
+        out += std::string("(build=") + (ps.build_right ? "right" : "left") +
+               ")";
+      } else if (ps.op == phys::OpKind::kMerge && !ps.left_presorted) {
+        out += "(sort-left)";
+      }
+      if (step > 0 && ps.join_pos >= 0) {
+        out += "  [build ~" +
+               WithCommas(static_cast<uint64_t>(ps.est_left)) + ", probe ~" +
+               WithCommas(static_cast<uint64_t>(ps.est_right)) + "]";
+      }
+      if (!ps.rationale.empty()) out += "; " + ps.rationale;
+      out += "\n";
+    }
   }
   if (!query.filters.empty()) {
     out += "  + " + std::to_string(query.filters.size()) +
@@ -621,6 +690,12 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
 
   ASSIGN_OR_RETURN(opt::Plan plan,
                    PlanQuery(bgp, &trace.planner, &inferred_anchors));
+  ASSIGN_OR_RETURN(phys::PhysicalPlan pplan, PlanPhysicalFor(bgp, plan));
+  // The profiling run is full (no early termination), but an options-level
+  // LIMIT still needs the streaming executor's pushdown.
+  if (state_->options.exec.limit > 0 && pplan.Materializes()) {
+    phys::ForceInlj(&pplan, "pipelined: LIMIT early termination");
+  }
   trace.AddPhase("plan", phase.ElapsedMs());
   phase.Reset();
   trace.optimizer = plan.provider;
@@ -640,12 +715,18 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   // paper's TZ Card ground truth) plus probe/scan counters.
   exec::ExecOptions eopts = state_->options.exec;
   eopts.trace = &trace.exec;
-  ASSIGN_OR_RETURN(exec::ExecResult run,
-                   exec::ExecuteBgp(state_->graph, bgp, plan.order, eopts));
+  exec::ExecResult run;
+  if (pplan.Materializes()) {
+    ASSIGN_OR_RETURN(
+        run, phys::ExecuteBgpPhysical(state_->graph, bgp, pplan, eopts));
+  } else {
+    ASSIGN_OR_RETURN(
+        run, exec::ExecuteBgp(state_->graph, bgp, plan.order, eopts));
+  }
   trace.AddPhase("execute", phase.ElapsedMs());
   trace.num_results = run.num_results;
   trace.timed_out = run.timed_out;
-  FillStepTraces(query, bgp, plan, details, run.step_cards, &trace,
+  FillStepTraces(query, bgp, plan, &pplan, details, run.step_cards, &trace,
                  /*record=*/!run.timed_out);
 
   // Live soundness cross-check: a provably-empty verdict that observed any

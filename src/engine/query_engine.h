@@ -16,6 +16,7 @@
 #include "obs/accuracy_ledger.h"
 #include "obs/trace.h"
 #include "opt/plan.h"
+#include "phys/physical_plan.h"
 #include "rdf/graph.h"
 #include "shacl/shapes.h"
 #include "sparql/query_graph.h"
@@ -53,6 +54,13 @@ struct EngineOptions {
   /// (tighter SS plans). No effect when static_check is off or the
   /// optimizer has no shape statistics.
   bool infer_constraints = true;
+  /// Physical join-operator policy (phys::PlanPhysical). The default kEnv
+  /// resolves SHAPESTATS_JOIN (auto | inlj | merge | hash) at plan time;
+  /// tests force modes here to stay env-independent. Every mode produces
+  /// byte-identical results — only the work profile changes. ASK and LIMIT
+  /// queries always run on the streaming INLJ executor (early termination
+  /// beats materialization), with the downgrade recorded in the plan.
+  phys::JoinMode join_mode = phys::JoinMode::kEnv;
 };
 
 const char* OptimizerName(EngineOptions::Optimizer opt);
@@ -63,6 +71,10 @@ const char* OptimizerName(EngineOptions::Optimizer opt);
 struct QueryResult {
   exec::ResultTable table;
   opt::Plan plan;
+  /// Operator choices for `plan`'s join order (empty for short-circuited
+  /// queries). When no step materializes, execution stayed on the
+  /// streaming depth-first executor.
+  phys::PhysicalPlan phys;
   sparql::QueryShape shape = sparql::QueryShape::kComplex;
   std::optional<bool> ask;
   std::optional<uint64_t> count;
@@ -199,6 +211,12 @@ class QueryEngine {
       const std::unordered_map<sparql::VarId, rdf::TermId>* inferred =
           nullptr) const;
 
+  /// Annotates `plan` with physical operators (EngineOptions::join_mode)
+  /// and, when verify_plans is set, validates the result against the
+  /// phys.* rule catalog (Internal status on violation — a planner bug).
+  Result<phys::PhysicalPlan> PlanPhysicalFor(const sparql::EncodedBgp& bgp,
+                                             const opt::Plan& plan) const;
+
   /// Checker over this engine's statistics (shapes only when present).
   analysis::ShapeChecker Checker() const;
 
@@ -206,8 +224,11 @@ class QueryEngine {
   /// and the executor's measured per-step cardinalities (also classifying
   /// each step's join type), then records the steps into the ledger when
   /// `record` is set and emits per-step events.
+  /// `pplan` (may be null for short-circuited paths) stamps each step's
+  /// physical operator and build/probe estimates onto the trace.
   void FillStepTraces(const sparql::ParsedQuery& query,
                       const sparql::EncodedBgp& bgp, const opt::Plan& plan,
+                      const phys::PhysicalPlan* pplan,
                       const std::vector<card::EstimateDetail>& details,
                       const std::vector<uint64_t>& true_cards,
                       obs::QueryTrace* trace, bool record) const;

@@ -1,12 +1,9 @@
 #include "exec/select_executor.h"
 
 #include <algorithm>
-#include <cerrno>
-#include <cstdlib>
 #include <numeric>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "exec/filter_eval.h"
 #include "obs/metrics.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -15,65 +12,12 @@ namespace shapestats::exec {
 
 using rdf::OptId;
 using rdf::TermId;
-using sparql::CompareOp;
 using sparql::EncodedBgp;
 using sparql::EncodedPattern;
 using sparql::EncodedTerm;
 using sparql::ParsedQuery;
 
 namespace {
-
-// A filter operand after encoding: a variable id, or a decoded constant
-// term (compared by value, so constants absent from the data still work).
-struct EncodedOperand {
-  bool is_var = false;
-  uint32_t var_id = 0;
-  rdf::Term term;  // set when !is_var
-};
-
-struct EncodedFilter {
-  EncodedOperand lhs;
-  CompareOp op;
-  EncodedOperand rhs;
-  size_t ready_depth = 0;  // earliest step at which all vars are bound
-};
-
-// Numeric value of a literal term if it parses as a number.
-bool NumericValue(const rdf::Term& term, double* out) {
-  if (!term.is_literal() || term.lexical.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  double v = std::strtod(term.lexical.c_str(), &end);
-  if (errno != 0 || end != term.lexical.c_str() + term.lexical.size()) {
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-// SPARQL-ish comparison: numeric when both sides are numeric literals,
-// term equality for =/!=, lexical ordering as the fallback for </>.
-bool Compare(const rdf::Term& ta, CompareOp op, const rdf::Term& tb) {
-  double va, vb;
-  int cmp;
-  if (NumericValue(ta, &va) && NumericValue(tb, &vb)) {
-    cmp = va < vb ? -1 : (va > vb ? 1 : 0);
-  } else if (op == CompareOp::kEq || op == CompareOp::kNe) {
-    cmp = ta == tb ? 0 : 1;
-  } else {
-    cmp = ta.lexical.compare(tb.lexical);
-    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
-  }
-  switch (op) {
-    case CompareOp::kEq: return cmp == 0;
-    case CompareOp::kNe: return cmp != 0;
-    case CompareOp::kLt: return cmp < 0;
-    case CompareOp::kLe: return cmp <= 0;
-    case CompareOp::kGt: return cmp > 0;
-    case CompareOp::kGe: return cmp >= 0;
-  }
-  return false;
-}
 
 // Timeout checks happen every this many work units (index probes + scanned
 // triples); see exec/executor.cc.
@@ -110,9 +54,13 @@ class SelectEvaluator {
     static obs::Counter* timeouts =
         obs::MetricsRegistry::Global().GetCounter("exec.timeouts");
     Timer timer;
-    RETURN_NOT_OK(Prepare());
-    if (!filters_unsatisfiable_ && !order_.empty()) Recurse(0, timer);
-    RETURN_NOT_OK(ApplyModifiers());
+    ASSIGN_OR_RETURN(SelectShape shape, PrepareSelectShape(query_, bgp_));
+    shape_ = std::move(shape);
+    table_.var_names = shape_.var_names;
+    ASSIGN_OR_RETURN(filters_, EncodeFilters(query_, bgp_, order_));
+    if (!filters_.unsatisfiable && !order_.empty()) Recurse(0, timer);
+    RETURN_NOT_OK(ApplyModifiers(query_, graph_.dict(), &table_.rows,
+                                 &order_keys_));
     table_.elapsed_ms = timer.ElapsedMs();
     if (trace_ != nullptr) {
       trace_->total_probes = probes_;
@@ -126,95 +74,6 @@ class SelectEvaluator {
   }
 
  private:
-  Status Prepare() {
-    // Projection columns.
-    std::unordered_map<std::string, sparql::VarId> var_ids;
-    for (sparql::VarId v = 0; v < bgp_.NumVars(); ++v) {
-      var_ids[bgp_.var_names[v]] = v;
-    }
-    if (query_.select_all) {
-      for (sparql::VarId v = 0; v < bgp_.NumVars(); ++v) {
-        table_.var_names.push_back(bgp_.var_names[v]);
-        projection_.push_back(v);
-      }
-    } else {
-      for (const sparql::Variable& v : query_.projection) {
-        auto it = var_ids.find(v.name);
-        if (it == var_ids.end()) {
-          return Status::InvalidArgument("unknown projected variable ?" + v.name);
-        }
-        table_.var_names.push_back(v.name);
-        projection_.push_back(it->second);
-      }
-    }
-
-    // ORDER BY column.
-    if (query_.order_by) {
-      auto it = var_ids.find(query_.order_by->var.name);
-      if (it == var_ids.end()) {
-        return Status::InvalidArgument("unknown ORDER BY variable");
-      }
-      order_var_ = it->second;
-    }
-
-    // Encode filters and compute their readiness depth.
-    std::vector<size_t> bound_at(bgp_.NumVars(), order_.size());
-    for (size_t step = 0; step < order_.size(); ++step) {
-      const EncodedPattern& tp = bgp_.patterns[order_[step]];
-      for (const EncodedTerm* t : {&tp.s, &tp.p, &tp.o}) {
-        if (t->is_var() && bound_at[t->id] == order_.size()) {
-          bound_at[t->id] = step;
-        }
-      }
-    }
-    filters_by_depth_.resize(order_.size());
-    for (const sparql::FilterComparison& f : query_.filters) {
-      EncodedFilter ef;
-      size_t depth = 0;
-      auto encode = [&](const sparql::PatternTerm& t) -> Result<EncodedOperand> {
-        EncodedOperand op;
-        if (sparql::IsVar(t)) {
-          auto it = var_ids.find(sparql::AsVar(t).name);
-          if (it == var_ids.end()) {
-            return Status::InvalidArgument("FILTER variable ?" +
-                                           sparql::AsVar(t).name +
-                                           " does not occur in the BGP");
-          }
-          depth = std::max(depth, bound_at[it->second]);
-          op.is_var = true;
-          op.var_id = it->second;
-          return op;
-        }
-        op.term = sparql::AsTerm(t);
-        return op;
-      };
-      ASSIGN_OR_RETURN(ef.lhs, encode(f.lhs));
-      ef.op = f.op;
-      ASSIGN_OR_RETURN(ef.rhs, encode(f.rhs));
-      ef.ready_depth = depth;
-      // Constant-only filters decide satisfiability up front.
-      if (!ef.lhs.is_var && !ef.rhs.is_var) {
-        if (!Compare(ef.lhs.term, ef.op, ef.rhs.term)) {
-          filters_unsatisfiable_ = true;
-        }
-        continue;
-      }
-      filters_by_depth_[ef.ready_depth].push_back(ef);
-    }
-    return Status::OK();
-  }
-
-  bool FiltersPass(size_t depth) {
-    for (const EncodedFilter& f : filters_by_depth_[depth]) {
-      const rdf::Term& lhs =
-          f.lhs.is_var ? graph_.dict().term(bindings_[f.lhs.var_id]) : f.lhs.term;
-      const rdf::Term& rhs =
-          f.rhs.is_var ? graph_.dict().term(bindings_[f.rhs.var_id]) : f.rhs.term;
-      if (!Compare(lhs, f.op, rhs)) return false;
-    }
-    return true;
-  }
-
   // True when enough rows have been collected to stop (LIMIT pushdown only
   // without ORDER BY / DISTINCT, which need the full result).
   bool CanStopEarly() const {
@@ -274,17 +133,20 @@ class SelectEvaluator {
       }
       if (table_.timed_out) break;
 
-      if (FiltersPass(depth)) {
+      if (FiltersPass(filters_.by_depth[depth], bindings_.data(),
+                      graph_.dict())) {
         if (depth + 1 < order_.size()) {
           Recurse(depth + 1, timer);
           if (table_.timed_out) break;
         } else {
           ++table_.bgp_matches;
-          std::vector<TermId> row(projection_.size());
-          for (size_t c = 0; c < projection_.size(); ++c) {
-            row[c] = bindings_[projection_[c]];
+          std::vector<TermId> row(shape_.projection.size());
+          for (size_t c = 0; c < shape_.projection.size(); ++c) {
+            row[c] = bindings_[shape_.projection[c]];
           }
-          if (order_var_) order_keys_.push_back(bindings_[*order_var_]);
+          if (shape_.order_var) {
+            order_keys_.push_back(bindings_[*shape_.order_var]);
+          }
           table_.rows.push_back(std::move(row));
           if (CanStopEarly()) break;
         }
@@ -294,60 +156,6 @@ class SelectEvaluator {
     if (vs) bindings_[*vs] = rdf::kInvalidTermId;
     if (vp) bindings_[*vp] = rdf::kInvalidTermId;
     if (vo) bindings_[*vo] = rdf::kInvalidTermId;
-  }
-
-  Status ApplyModifiers() {
-    // DISTINCT before ORDER BY (projection already applied).
-    if (query_.distinct) {
-      struct RowHash {
-        size_t operator()(const std::vector<TermId>& row) const {
-          size_t h = 0x9E3779B97F4A7C15ULL;
-          for (TermId t : row) h = h * 0x100000001B3ULL ^ t;
-          return h;
-        }
-      };
-      std::unordered_set<std::vector<TermId>, RowHash> seen;
-      std::vector<std::vector<TermId>> unique_rows;
-      std::vector<TermId> unique_keys;
-      for (size_t i = 0; i < table_.rows.size(); ++i) {
-        if (seen.insert(table_.rows[i]).second) {
-          unique_rows.push_back(table_.rows[i]);
-          if (order_var_) unique_keys.push_back(order_keys_[i]);
-        }
-      }
-      table_.rows = std::move(unique_rows);
-      order_keys_ = std::move(unique_keys);
-    }
-    if (query_.order_by) {
-      std::vector<size_t> idx(table_.rows.size());
-      std::iota(idx.begin(), idx.end(), 0);
-      const rdf::TermDictionary& dict = graph_.dict();
-      bool desc = query_.order_by->descending;
-      std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
-        const rdf::Term& ka = dict.term(order_keys_[a]);
-        const rdf::Term& kb = dict.term(order_keys_[b]);
-        bool lt = Compare(ka, CompareOp::kLt, kb);
-        bool gt = Compare(ka, CompareOp::kGt, kb);
-        return desc ? gt : lt;
-      });
-      std::vector<std::vector<TermId>> sorted;
-      sorted.reserve(idx.size());
-      for (size_t i : idx) sorted.push_back(std::move(table_.rows[i]));
-      table_.rows = std::move(sorted);
-    }
-    // OFFSET / LIMIT.
-    if (query_.offset > 0) {
-      if (query_.offset >= table_.rows.size()) {
-        table_.rows.clear();
-      } else {
-        table_.rows.erase(table_.rows.begin(),
-                          table_.rows.begin() + static_cast<long>(query_.offset));
-      }
-    }
-    if (query_.limit && table_.rows.size() > *query_.limit) {
-      table_.rows.resize(*query_.limit);
-    }
-    return Status::OK();
   }
 
   const rdf::Graph& graph_;
@@ -361,11 +169,9 @@ class SelectEvaluator {
   uint32_t timeout_ticks_ = 0;
 
   std::vector<TermId> bindings_;
-  std::vector<sparql::VarId> projection_;
-  std::optional<sparql::VarId> order_var_;
+  SelectShape shape_;
+  FilterPlan filters_;
   std::vector<TermId> order_keys_;  // parallel to rows (pre-sort)
-  std::vector<std::vector<EncodedFilter>> filters_by_depth_;
-  bool filters_unsatisfiable_ = false;
   uint64_t rows_produced_ = 0;
   ResultTable table_;
 };

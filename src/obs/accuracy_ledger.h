@@ -23,7 +23,10 @@ struct AccuracyKey {
   std::string optimizer;    // plan provider label ("SS", "GS", ...)
   std::string query_shape;  // star | path | snowflake | complex
   std::string source;       // statistics source ("shape", "global", ...)
-  std::string join_type;    // scan | join | product
+  /// Physical operator of the step: scan | inlj | merge | hash | product
+  /// (phys::OpName), or the legacy "join" for textual plans executed
+  /// without physical annotations.
+  std::string join_type;
 
   bool operator<(const AccuracyKey& o) const {
     return std::tie(optimizer, query_shape, source, join_type) <

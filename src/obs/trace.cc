@@ -67,9 +67,11 @@ std::string QueryTrace::ToJson() const {
   for (size_t i = 0; i < steps.size(); ++i) {
     const StepTrace& s = steps[i];
     if (i) out += ",";
-    char est[32], tp[32], q[32];
+    char est[32], tp[32], q[32], build[32], probe[32];
     std::snprintf(est, sizeof(est), "%.6g", s.est_card);
     std::snprintf(tp, sizeof(tp), "%.6g", s.tp_est);
+    std::snprintf(build, sizeof(build), "%.6g", s.est_build);
+    std::snprintf(probe, sizeof(probe), "%.6g", s.est_probe);
     if (std::isnan(s.q_error)) {
       std::snprintf(q, sizeof(q), "null");
     } else {
@@ -81,6 +83,7 @@ std::string QueryTrace::ToJson() const {
            ",\"source\":\"" + JsonEscape(s.source) + "\"" +
            ",\"formula\":\"" + JsonEscape(s.formula) + "\"" +
            ",\"join_type\":\"" + JsonEscape(s.join_type) + "\"" +
+           ",\"est_build\":" + build + ",\"est_probe\":" + probe +
            ",\"tp_est\":" + tp + ",\"est_card\":" + est +
            ",\"true_card\":" + std::to_string(s.true_card) +
            ",\"q_error\":" + q +
@@ -110,13 +113,13 @@ std::string QueryTrace::ToTable() const {
   out += ")\n";
 
   if (!steps.empty()) {
-    TablePrinter printer({"step", "triple pattern", "stats", "est card",
+    TablePrinter printer({"step", "op", "triple pattern", "stats", "est card",
                           "true card", "q-error", "rows scanned", "probes"});
     for (const StepTrace& s : steps) {
       std::string stats = s.source;
       if (!s.formula.empty()) stats += ":" + s.formula;
-      printer.AddRow({std::to_string(s.step), s.pattern_text, stats,
-                      FmtCard(s.est_card), WithCommas(s.true_card),
+      printer.AddRow({std::to_string(s.step), s.join_type, s.pattern_text,
+                      stats, FmtCard(s.est_card), WithCommas(s.true_card),
                       FmtQError(s.q_error), WithCommas(s.rows_scanned),
                       WithCommas(s.index_probes)});
     }

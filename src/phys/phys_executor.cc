@@ -1,0 +1,619 @@
+#include "phys/phys_executor.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/filter_eval.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace shapestats::phys {
+
+using rdf::OptId;
+using rdf::TermId;
+using rdf::Triple;
+using sparql::EncodedBgp;
+using sparql::EncodedPattern;
+using sparql::EncodedTerm;
+using sparql::ParsedQuery;
+
+namespace {
+
+// Timeout checks happen every this many work units (index probes + scanned
+// triples); see exec/executor.cc.
+constexpr uint32_t kTimeoutCheckInterval = 1024;
+
+// Sentinel "no left row" for the first-step scan.
+constexpr size_t kNoLeft = static_cast<size_t>(-1);
+
+TermId Comp(const Triple& t, int pos) {
+  return pos == 0 ? t.s : (pos == 1 ? t.p : t.o);
+}
+
+OptId ConstOpt(const EncodedTerm& e) {
+  if (e.is_bound()) return e.id;
+  return std::nullopt;
+}
+
+// One (left row, matching triple) pair of a merge/hash step, held until the
+// canonical-order sort restores the depth-first emission order.
+struct MatchPair {
+  uint32_t left;
+  Triple t;
+};
+
+// The sorted contiguous index run backing the right side of a merge join on
+// component `join_pos`, selected from the pattern's constants alone (see
+// MergeRunAvailable). Prefix-bound variables in other positions are checked
+// per emitted pair, not folded into the run.
+std::span<const Triple> MergeRightSpan(const rdf::Graph& g,
+                                       const EncodedPattern& tp,
+                                       int join_pos) {
+  if (join_pos == 0) {
+    if (tp.p.is_bound() && tp.o.is_bound()) {
+      return g.Match(std::nullopt, tp.p.id, tp.o.id);  // POS run, by subject
+    }
+    if (tp.p.is_bound()) return g.PredicateBySubject(tp.p.id);  // PSO
+    if (tp.o.is_bound()) {
+      return g.Match(std::nullopt, std::nullopt, tp.o.id);  // OSP, by subject
+    }
+    return g.triples();  // SPO
+  }
+  // join_pos == 2 (object).
+  if (tp.s.is_bound() && tp.p.is_bound()) {
+    return g.Match(tp.s.id, tp.p.id, std::nullopt);  // SPO run, by object
+  }
+  if (tp.p.is_bound()) {
+    return g.Match(std::nullopt, tp.p.id, std::nullopt);  // POS, by object
+  }
+  return g.triples_by_object();  // OSP
+}
+
+class PhysEvaluator {
+ public:
+  PhysEvaluator(const rdf::Graph& graph, const ParsedQuery* query,
+                const EncodedBgp& bgp, const PhysicalPlan& pplan,
+                const exec::ExecOptions& options)
+      : graph_(graph),
+        query_(query),
+        bgp_(bgp),
+        pplan_(pplan),
+        options_(options),
+        trace_(options.trace),
+        width_(bgp.NumVars()),
+        prefix_bound_(bgp.NumVars(), false),
+        produced_(pplan.steps.size(), 0) {
+    order_.reserve(pplan.steps.size());
+    for (const PhysicalStep& st : pplan.steps) order_.push_back(st.pattern);
+    if (trace_ != nullptr) {
+      trace_->step_probes.assign(order_.size(), 0);
+      trace_->step_rows_scanned.assign(order_.size(), 0);
+      trace_->step_rows_produced.assign(order_.size(), 0);
+      trace_->total_probes = 0;
+      trace_->total_rows_scanned = 0;
+    }
+  }
+
+  Result<exec::ExecResult> RunBgp() {
+    Timer timer;
+    filters_.by_depth.resize(order_.size());  // BGP counting: no filters
+    Execute(timer);
+    exec::ExecResult res;
+    res.step_cards = produced_;
+    res.num_results = produced_.empty() ? 0 : produced_.back();
+    res.timed_out = timed_out_;
+    res.elapsed_ms = timer.ElapsedMs();
+    Finish();
+    return res;
+  }
+
+  Result<exec::ResultTable> RunSelect() {
+    Timer timer;
+    ASSIGN_OR_RETURN(exec::SelectShape shape,
+                     exec::PrepareSelectShape(*query_, bgp_));
+    shape_ = std::move(shape);
+    ASSIGN_OR_RETURN(filters_, exec::EncodeFilters(*query_, bgp_, order_));
+    if (!filters_.unsatisfiable && !order_.empty()) Execute(timer);
+    exec::ResultTable table;
+    table.var_names = shape_.var_names;
+    table.bgp_matches = num_rows_;
+    std::vector<TermId> order_keys;
+    table.rows.reserve(num_rows_);
+    if (shape_.order_var) order_keys.reserve(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const TermId* row = rows_.data() + i * width_;
+      std::vector<TermId> out(shape_.projection.size());
+      for (size_t c = 0; c < shape_.projection.size(); ++c) {
+        out[c] = row[shape_.projection[c]];
+      }
+      if (shape_.order_var) order_keys.push_back(row[*shape_.order_var]);
+      table.rows.push_back(std::move(out));
+    }
+    RETURN_NOT_OK(exec::ApplyModifiers(*query_, graph_.dict(), &table.rows,
+                                       &order_keys));
+    table.timed_out = timed_out_;
+    table.elapsed_ms = timer.ElapsedMs();
+    Finish();
+    return table;
+  }
+
+ private:
+  // A variable bound by the current pattern's triple (repeated variables
+  // within one pattern resolve against earlier components first).
+  struct LocalBind {
+    sparql::VarId var;
+    TermId value;
+  };
+
+  void Execute(const Timer& timer) {
+    for (size_t k = 0; k < order_.size(); ++k) {
+      Step(k, timer);
+      if (timed_out_) {
+        // Rows of an aborted non-final step are an intermediate prefix
+        // join, not solutions; the streaming executor would have emitted
+        // nothing for them, so neither do we. An abort in the final step
+        // leaves valid (partial) full-width solution rows.
+        if (k + 1 < order_.size()) num_rows_ = 0;
+        break;
+      }
+    }
+  }
+
+  void Step(size_t k, const Timer& timer) {
+    const PhysicalStep& st = pplan_.steps[k];
+    const EncodedPattern& tp = bgp_.patterns[st.pattern];
+    next_rows_.clear();
+    next_count_ = 0;
+    if (!tp.HasMissingConstant()) {
+      if (k == 0) {
+        ScanStep(k, tp, timer);
+      } else if (num_rows_ > 0) {
+        switch (st.op) {
+          case OpKind::kMerge:
+            MergeStep(k, st, tp, timer);
+            break;
+          case OpKind::kHash:
+            HashStep(k, st, tp, timer);
+            break;
+          default:  // kInlj, kProduct (and kScan mislabels, defensively)
+            InljStep(k, tp, timer);
+            break;
+        }
+      }
+    }
+    rows_.swap(next_rows_);
+    num_rows_ = next_count_;
+    for (const EncodedTerm* e : {&tp.s, &tp.p, &tp.o}) {
+      if (e->is_var()) prefix_bound_[e->id] = true;
+    }
+  }
+
+  // ---- operators ---------------------------------------------------------
+
+  void ScanStep(size_t k, const EncodedPattern& tp, const Timer& timer) {
+    ++probes_;
+    if (trace_ != nullptr) ++trace_->step_probes[k];
+    if (Tick(timer)) return;
+    for (const Triple& t : graph_.Match(ConstOpt(tp.s), ConstOpt(tp.p),
+                                        ConstOpt(tp.o))) {
+      ++scanned_;
+      if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+      if (Tick(timer)) return;
+      Emit(k, kNoLeft, tp, t);
+      if (timed_out_) return;
+    }
+  }
+
+  void InljStep(size_t k, const EncodedPattern& tp, const Timer& timer) {
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const TermId* lrow = LeftRow(i);
+      ++probes_;
+      if (trace_ != nullptr) ++trace_->step_probes[k];
+      if (Tick(timer)) return;
+      for (const Triple& t : graph_.Match(RowOpt(tp.s, lrow),
+                                          RowOpt(tp.p, lrow),
+                                          RowOpt(tp.o, lrow))) {
+        ++scanned_;
+        if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+        if (Tick(timer)) return;
+        Emit(k, i, tp, t);
+        if (timed_out_) return;
+      }
+    }
+  }
+
+  void MergeStep(size_t k, const PhysicalStep& st, const EncodedPattern& tp,
+                 const Timer& timer) {
+    const int jp = st.join_pos;
+    const sparql::VarId jv = st.join_var;
+    // Defensive fallbacks for ill-formed plans (the verifier reports them;
+    // execution must still be correct): predicate joins have no run, and a
+    // join variable unbound in the prefix cannot drive a merge.
+    if ((jp != 0 && jp != 2) || jv >= width_) {
+      InljStep(k, tp, timer);
+      return;
+    }
+    bool sorted = true;
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const TermId v = rows_[i * width_ + jv];
+      if (v == rdf::kInvalidTermId) {
+        InljStep(k, tp, timer);
+        return;
+      }
+      if (i > 0 && rows_[(i - 1) * width_ + jv] > v) sorted = false;
+    }
+
+    const std::span<const Triple> run = MergeRightSpan(graph_, tp, jp);
+    ++probes_;
+    if (trace_ != nullptr) ++trace_->step_probes[k];
+    if (Tick(timer)) return;
+
+    // Iterate left rows in ascending join-value order; ties keep row order.
+    std::vector<uint32_t> idx;
+    if (!sorted) {
+      idx.resize(num_rows_);
+      std::iota(idx.begin(), idx.end(), 0u);
+      std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+        const TermId va = rows_[size_t(a) * width_ + jv];
+        const TermId vb = rows_[size_t(b) * width_ + jv];
+        if (va != vb) return va < vb;
+        return a < b;
+      });
+    }
+
+    const Triple* base = run.data();
+    const size_t n = run.size();
+    std::vector<MatchPair> pairs;
+    size_t lo = 0, hi = 0;
+    TermId cur = rdf::kInvalidTermId;
+    bool have_group = false;
+    for (size_t r = 0; r < num_rows_; ++r) {
+      const size_t i = sorted ? r : idx[r];
+      const TermId v = rows_[i * width_ + jv];
+      if (!have_group || v != cur) {
+        lo = hi;
+        while (lo < n && Comp(base[lo], jp) < v) {
+          ++lo;
+          ++scanned_;
+          if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+          if (Tick(timer)) return;
+        }
+        hi = lo;
+        while (hi < n && Comp(base[hi], jp) == v) ++hi;
+        cur = v;
+        have_group = true;
+      }
+      for (size_t j = lo; j < hi; ++j) {
+        ++scanned_;
+        if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+        if (Tick(timer)) return;
+        if (sorted) {
+          // Presorted left + sorted run: emission order IS the canonical
+          // depth-first order (DESIGN.md §9), so commit directly.
+          Emit(k, i, tp, base[j]);
+          if (timed_out_) return;
+        } else if (ProduceCheck(k, i, tp, base[j])) {
+          if (timed_out_) return;
+          pairs.push_back({static_cast<uint32_t>(i), base[j]});
+        }
+      }
+    }
+    if (!sorted) NormalizeAndCommit(k, tp, &pairs);
+  }
+
+  void HashStep(size_t k, const PhysicalStep& st, const EncodedPattern& tp,
+                const Timer& timer) {
+    const int jp = st.join_pos;
+    const sparql::VarId jv = st.join_var;
+    if (jp < 0 || jv >= width_) {
+      InljStep(k, tp, timer);
+      return;
+    }
+    for (size_t i = 0; i < num_rows_; ++i) {
+      if (rows_[i * width_ + jv] == rdf::kInvalidTermId) {
+        InljStep(k, tp, timer);
+        return;
+      }
+    }
+    ++probes_;
+    if (trace_ != nullptr) ++trace_->step_probes[k];
+    if (Tick(timer)) return;
+    const std::span<const Triple> span =
+        graph_.Match(ConstOpt(tp.s), ConstOpt(tp.p), ConstOpt(tp.o));
+
+    // Buckets hold indexes in insertion order (span order / row order), so
+    // the pair set — and after the canonical sort, the output — is fully
+    // deterministic regardless of hash-table iteration order.
+    std::vector<MatchPair> pairs;
+    if (st.build_right) {
+      std::unordered_map<TermId, std::vector<uint32_t>> ht;
+      ht.reserve(span.size());
+      for (size_t j = 0; j < span.size(); ++j) {
+        ++scanned_;
+        if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+        if (Tick(timer)) return;
+        ht[Comp(span[j], jp)].push_back(static_cast<uint32_t>(j));
+      }
+      for (size_t i = 0; i < num_rows_; ++i) {
+        if (Tick(timer)) return;
+        auto it = ht.find(rows_[i * width_ + jv]);
+        if (it == ht.end()) continue;
+        for (uint32_t j : it->second) {
+          ++scanned_;
+          if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+          if (Tick(timer)) return;
+          if (ProduceCheck(k, i, tp, span[j])) {
+            if (timed_out_) return;
+            pairs.push_back({static_cast<uint32_t>(i), span[j]});
+          }
+        }
+      }
+    } else {
+      std::unordered_map<TermId, std::vector<uint32_t>> ht;
+      ht.reserve(num_rows_);
+      for (size_t i = 0; i < num_rows_; ++i) {
+        if (Tick(timer)) return;
+        ht[rows_[i * width_ + jv]].push_back(static_cast<uint32_t>(i));
+      }
+      for (size_t j = 0; j < span.size(); ++j) {
+        ++scanned_;
+        if (trace_ != nullptr) ++trace_->step_rows_scanned[k];
+        if (Tick(timer)) return;
+        auto it = ht.find(Comp(span[j], jp));
+        if (it == ht.end()) continue;
+        for (uint32_t i : it->second) {
+          if (ProduceCheck(k, i, tp, span[j])) {
+            if (timed_out_) return;
+            pairs.push_back({i, span[j]});
+          }
+        }
+      }
+    }
+    NormalizeAndCommit(k, tp, &pairs);
+  }
+
+  // ---- canonical-order restoration ---------------------------------------
+
+  // Sorts match pairs into the depth-first emission order — (left row
+  // index, then the pattern's free components in Graph::MatchOrder
+  // sequence) — and appends them. A component counts as bound when it is a
+  // constant or holds a prefix-bound variable; two distinct triples of one
+  // pair group always differ on a free component, so the order is total.
+  void NormalizeAndCommit(size_t k, const EncodedPattern& tp,
+                          std::vector<MatchPair>* pairs) {
+    const bool sb = !tp.s.is_var() || prefix_bound_[tp.s.id];
+    const bool pb = !tp.p.is_var() || prefix_bound_[tp.p.id];
+    const bool ob = !tp.o.is_var() || prefix_bound_[tp.o.id];
+    const std::vector<int> ord = rdf::Graph::MatchOrder(sb, pb, ob);
+    std::sort(pairs->begin(), pairs->end(),
+              [&ord](const MatchPair& a, const MatchPair& b) {
+                if (a.left != b.left) return a.left < b.left;
+                for (int c : ord) {
+                  const TermId ca = Comp(a.t, c);
+                  const TermId cb = Comp(b.t, c);
+                  if (ca != cb) return ca < cb;
+                }
+                return false;
+              });
+    for (const MatchPair& mp : *pairs) AppendPair(k, mp.left, tp, mp.t);
+  }
+
+  // ---- row plumbing ------------------------------------------------------
+
+  const TermId* LeftRow(size_t left) const {
+    return left == kNoLeft ? nullptr : rows_.data() + left * width_;
+  }
+
+  OptId RowOpt(const EncodedTerm& e, const TermId* lrow) const {
+    if (e.is_bound()) return e.id;
+    if (e.is_var() && lrow != nullptr) {
+      const TermId v = lrow[e.id];
+      if (v != rdf::kInvalidTermId) return v;
+    }
+    return std::nullopt;
+  }
+
+  // Checks triple `t` against the pattern given the left row: constants
+  // must match, prefix-bound and repeated variables must agree, and free
+  // variables collect their bindings into `binds`.
+  bool BindCheck(const TermId* row, const EncodedPattern& tp, const Triple& t,
+                 LocalBind binds[3], int* nb) const {
+    *nb = 0;
+    const EncodedTerm* terms[3] = {&tp.s, &tp.p, &tp.o};
+    const TermId vals[3] = {t.s, t.p, t.o};
+    for (int pos = 0; pos < 3; ++pos) {
+      const EncodedTerm& e = *terms[pos];
+      if (e.is_bound()) {
+        if (e.id != vals[pos]) return false;
+        continue;
+      }
+      if (e.is_missing()) return false;
+      TermId bound = rdf::kInvalidTermId;
+      for (int i = 0; i < *nb; ++i) {
+        if (binds[i].var == e.id) {
+          bound = binds[i].value;
+          break;
+        }
+      }
+      if (bound == rdf::kInvalidTermId && row != nullptr) bound = row[e.id];
+      if (bound != rdf::kInvalidTermId) {
+        if (bound != vals[pos]) return false;
+      } else {
+        binds[*nb].var = e.id;
+        binds[(*nb)++].value = vals[pos];
+      }
+    }
+    return true;
+  }
+
+  // Counts one BindCheck-passing match (post-bind, pre-filter — the
+  // depth-first executor's step_rows_produced semantics) and applies the
+  // intermediate-row abort.
+  void CountProduced(size_t k) {
+    ++produced_[k];
+    if (trace_ != nullptr) ++trace_->step_rows_produced[k];
+    ++rows_produced_total_;
+    if (options_.max_intermediate_rows != 0 &&
+        rows_produced_total_ > options_.max_intermediate_rows) {
+      timed_out_ = true;
+    }
+  }
+
+  // Streaming commit: count the match and append it (in emission order).
+  void Emit(size_t k, size_t left, const EncodedPattern& tp, const Triple& t) {
+    LocalBind binds[3];
+    int nb = 0;
+    if (!BindCheck(LeftRow(left), tp, t, binds, &nb)) return;
+    CountProduced(k);
+    if (timed_out_) return;
+    AppendRow(k, LeftRow(left), binds, nb);
+  }
+
+  // Pair-path production check: counts the match but defers the append to
+  // the canonical-order commit.
+  bool ProduceCheck(size_t k, size_t left, const EncodedPattern& tp,
+                    const Triple& t) {
+    LocalBind binds[3];
+    int nb = 0;
+    if (!BindCheck(LeftRow(left), tp, t, binds, &nb)) return false;
+    CountProduced(k);
+    return true;
+  }
+
+  // Pair-path append (the pair already passed ProduceCheck).
+  void AppendPair(size_t k, size_t left, const EncodedPattern& tp,
+                  const Triple& t) {
+    LocalBind binds[3];
+    int nb = 0;
+    if (!BindCheck(LeftRow(left), tp, t, binds, &nb)) return;
+    AppendRow(k, LeftRow(left), binds, nb);
+  }
+
+  void AppendRow(size_t k, const TermId* lrow, const LocalBind* binds,
+                 int nb) {
+    const size_t base = next_count_ * width_;
+    if (next_rows_.capacity() < base + width_) {
+      next_rows_.reserve(std::max(base + width_, next_rows_.capacity() * 2));
+    }
+    next_rows_.resize(base + width_);
+    TermId* row = next_rows_.data() + base;
+    if (lrow != nullptr) {
+      std::copy(lrow, lrow + width_, row);
+    } else {
+      std::fill(row, row + width_, rdf::kInvalidTermId);
+    }
+    for (int i = 0; i < nb; ++i) row[binds[i].var] = binds[i].value;
+    if (!filters_.by_depth[k].empty() &&
+        !exec::FiltersPass(filters_.by_depth[k], row, graph_.dict())) {
+      next_rows_.resize(base);
+      return;
+    }
+    ++next_count_;
+  }
+
+  // Amortized wall-clock check on probe + scan work; see exec/executor.cc.
+  bool Tick(const Timer& timer) {
+    if (options_.timeout_ms <= 0) return false;
+    if (++timeout_ticks_ < kTimeoutCheckInterval) return false;
+    timeout_ticks_ = 0;
+    if (timer.ElapsedMs() > options_.timeout_ms) {
+      timed_out_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void Finish() {
+    static obs::Counter* runs =
+        obs::MetricsRegistry::Global().GetCounter("exec.phys_runs");
+    static obs::Counter* probe_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.index_probes");
+    static obs::Counter* scan_counter =
+        obs::MetricsRegistry::Global().GetCounter("exec.rows_scanned");
+    static obs::Counter* timeouts =
+        obs::MetricsRegistry::Global().GetCounter("exec.timeouts");
+    if (trace_ != nullptr) {
+      trace_->total_probes = probes_;
+      trace_->total_rows_scanned = scanned_;
+    }
+    runs->Add();
+    probe_counter->Add(probes_);
+    scan_counter->Add(scanned_);
+    if (timed_out_) timeouts->Add();
+  }
+
+  const rdf::Graph& graph_;
+  const ParsedQuery* query_;  // null in BGP-counting mode
+  const EncodedBgp& bgp_;
+  const PhysicalPlan& pplan_;
+  const exec::ExecOptions& options_;
+  obs::ExecTrace* trace_;
+  const size_t width_;  // bindings per row (number of BGP variables)
+
+  std::vector<uint32_t> order_;       // join order: steps[k].pattern
+  std::vector<TermId> rows_;          // current binding table, row-major
+  size_t num_rows_ = 0;
+  std::vector<TermId> next_rows_;     // next step's output table
+  size_t next_count_ = 0;
+  std::vector<bool> prefix_bound_;    // variables bound by steps 0..k-1
+  std::vector<uint64_t> produced_;    // per-step true cardinality
+
+  exec::SelectShape shape_;  // select mode only
+  exec::FilterPlan filters_;
+  uint64_t rows_produced_total_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t scanned_ = 0;
+  uint32_t timeout_ticks_ = 0;
+  bool timed_out_ = false;
+};
+
+Status ValidatePhysical(const rdf::Graph& graph, const EncodedBgp& bgp,
+                        const PhysicalPlan& pplan,
+                        const exec::ExecOptions& options) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  if (options.limit > 0) {
+    return Status::InvalidArgument(
+        "the physical executor does not support LIMIT pushdown; use the "
+        "streaming executor for early termination");
+  }
+  if (pplan.steps.size() != bgp.patterns.size()) {
+    return Status::InvalidArgument(
+        "physical plan does not cover every pattern");
+  }
+  std::vector<bool> seen(bgp.patterns.size(), false);
+  for (const PhysicalStep& st : pplan.steps) {
+    if (st.pattern >= bgp.patterns.size() || seen[st.pattern]) {
+      return Status::InvalidArgument(
+          "physical plan order is not a permutation of patterns");
+    }
+    seen[st.pattern] = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<exec::ExecResult> ExecuteBgpPhysical(const rdf::Graph& graph,
+                                            const EncodedBgp& bgp,
+                                            const PhysicalPlan& pplan,
+                                            const exec::ExecOptions& options) {
+  RETURN_NOT_OK(ValidatePhysical(graph, bgp, pplan, options));
+  return PhysEvaluator(graph, nullptr, bgp, pplan, options).RunBgp();
+}
+
+Result<exec::ResultTable> ExecuteSelectPhysical(
+    const rdf::Graph& graph, const ParsedQuery& query, const EncodedBgp& bgp,
+    const PhysicalPlan& pplan, const exec::ExecOptions& options) {
+  RETURN_NOT_OK(ValidatePhysical(graph, bgp, pplan, options));
+  return PhysEvaluator(graph, &query, bgp, pplan, options).RunSelect();
+}
+
+}  // namespace shapestats::phys

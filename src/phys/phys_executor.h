@@ -1,0 +1,46 @@
+// Physical-plan executor: runs a join order step by step with the
+// operators a PhysicalPlan prescribes (index nested-loop, merge over
+// sorted index runs, hash with a chosen build side), materializing the
+// intermediate binding table between steps.
+//
+// Result contract: for every well-formed physical plan over the same join
+// order, the output is byte-for-byte identical to the depth-first INLJ
+// executor (exec::ExecuteBgp / exec::ExecuteSelect) — same rows in the
+// same order. Merge and hash steps generate (left row, triple) match
+// pairs and restore the canonical depth-first order afterwards: pairs are
+// sorted by (left row index, free pattern components in Graph::MatchOrder
+// sequence), which is exactly the order the INLJ probe would have emitted
+// them in (see DESIGN.md §9 for the argument).
+//
+// Early termination (SPARQL LIMIT pushdown, ASK probes) is deliberately
+// unsupported: those queries profit from the streaming executor and the
+// engine routes them there. ExecOptions::limit > 0 is an error here.
+#pragma once
+
+#include "exec/executor.h"
+#include "exec/select_executor.h"
+#include "phys/physical_plan.h"
+#include "rdf/graph.h"
+#include "sparql/encoded_bgp.h"
+#include "sparql/query.h"
+#include "util/status.h"
+
+namespace shapestats::phys {
+
+/// Executes the BGP with the physical plan's operators, counting the true
+/// cardinality of every intermediate result (the profiling twin of
+/// exec::ExecuteBgp). `pplan.steps[k].pattern` defines the join order.
+Result<exec::ExecResult> ExecuteBgpPhysical(const rdf::Graph& graph,
+                                            const sparql::EncodedBgp& bgp,
+                                            const PhysicalPlan& pplan,
+                                            const exec::ExecOptions& options = {});
+
+/// Executes a full SELECT query (filters + DISTINCT / ORDER BY / OFFSET /
+/// LIMIT as post-modifiers) with the physical plan's operators. `bgp` must
+/// be the encoding of `query` against `graph.dict()`.
+Result<exec::ResultTable> ExecuteSelectPhysical(
+    const rdf::Graph& graph, const sparql::ParsedQuery& query,
+    const sparql::EncodedBgp& bgp, const PhysicalPlan& pplan,
+    const exec::ExecOptions& options = {});
+
+}  // namespace shapestats::phys

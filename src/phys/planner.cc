@@ -1,0 +1,191 @@
+#include "phys/planner.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace shapestats::phys {
+
+using sparql::EncodedPattern;
+using sparql::VarId;
+
+namespace {
+
+double Log2Of(double v) { return std::log2(std::max(2.0, v)); }
+
+// The variable at component `pos` of `tp`, if that component is a variable.
+std::optional<VarId> VarAt(const EncodedPattern& tp, int pos) {
+  const sparql::EncodedTerm& t = pos == 0 ? tp.s : (pos == 1 ? tp.p : tp.o);
+  if (t.is_var()) return t.id;
+  return std::nullopt;
+}
+
+}  // namespace
+
+PhysicalPlan PlanPhysical(const sparql::EncodedBgp& bgp, const opt::Plan& plan,
+                          const rdf::Graph& graph,
+                          const PlannerOptions& options) {
+  static obs::Counter* plans =
+      obs::MetricsRegistry::Global().GetCounter("phys.plans");
+  static obs::Counter* merge_steps =
+      obs::MetricsRegistry::Global().GetCounter("phys.merge_steps");
+  static obs::Counter* hash_steps =
+      obs::MetricsRegistry::Global().GetCounter("phys.hash_steps");
+  static obs::Counter* inlj_steps =
+      obs::MetricsRegistry::Global().GetCounter("phys.inlj_steps");
+  plans->Add();
+
+  PhysicalPlan out;
+  out.mode = ResolveJoinMode(options.mode);
+  const bool has_est = plan.step_estimates.size() == plan.order.size() &&
+                       plan.tp_estimates.size() == bgp.patterns.size();
+  const double probe_cost =
+      options.probe_log_factor *
+      Log2Of(static_cast<double>(graph.NumTriples()));
+
+  // The canonical row order's leading key is the first pattern's first free
+  // component (DFS emits rows sorted by it); a later merge on that variable
+  // needs no left-side sort.
+  std::optional<VarId> leading_var;
+  if (!plan.order.empty() && plan.order[0] < bgp.patterns.size()) {
+    const EncodedPattern& tp0 = bgp.patterns[plan.order[0]];
+    std::vector<int> probe_order = rdf::Graph::MatchOrder(
+        !tp0.s.is_var(), !tp0.p.is_var(), !tp0.o.is_var());
+    if (!probe_order.empty()) leading_var = VarAt(tp0, probe_order[0]);
+  }
+
+  std::vector<bool> bound(bgp.NumVars(), false);
+  out.steps.reserve(plan.order.size());
+  for (size_t k = 0; k < plan.order.size(); ++k) {
+    const uint32_t tp_idx = plan.order[k];
+    if (tp_idx >= bgp.patterns.size()) continue;  // verifier reports this
+    const EncodedPattern& tp = bgp.patterns[tp_idx];
+    PhysicalStep st;
+    st.pattern = tp_idx;
+    if (has_est) {
+      st.est_left = k == 0 ? 0 : plan.step_estimates[k - 1];
+      st.est_right = plan.tp_estimates[tp_idx].card;
+      st.est_out = plan.step_estimates[k];
+    }
+
+    if (k == 0) {
+      st.op = OpKind::kScan;
+      st.rationale = "index scan of the first pattern";
+    } else {
+      // Join candidates: components of this pattern holding a variable
+      // already bound by the prefix. Subject joins are preferred, then
+      // object, then predicate (matching index-run availability).
+      std::optional<int> general, mergeable;
+      for (int pos : {0, 2, 1}) {
+        std::optional<VarId> v = VarAt(tp, pos);
+        if (!v || !bound[*v]) continue;
+        if (!general) general = pos;
+        if (!mergeable && MergeRunAvailable(tp, pos)) mergeable = pos;
+      }
+      st.merge_ok = mergeable.has_value();
+
+      auto set_join = [&](int pos) {
+        st.join_pos = pos;
+        st.join_var = *VarAt(tp, pos);
+        st.left_presorted = leading_var && st.join_var == *leading_var;
+      };
+
+      if (!general) {
+        st.op = OpKind::kProduct;
+        st.rationale = "no shared variable with the join prefix";
+      } else {
+        const double l = st.est_left, r = st.est_right, o = st.est_out;
+        switch (out.mode) {
+          case JoinMode::kInlj:
+            st.op = OpKind::kInlj;
+            set_join(*general);
+            st.rationale = "forced by join mode inlj";
+            break;
+          case JoinMode::kMerge:
+            if (st.merge_ok) {
+              st.op = OpKind::kMerge;
+              set_join(*mergeable);
+              st.rationale = "forced by join mode merge";
+            } else {
+              st.op = OpKind::kInlj;
+              set_join(*general);
+              st.rationale =
+                  "merge unavailable: no index run sorted by the join "
+                  "component; fell back to inlj";
+            }
+            break;
+          case JoinMode::kHash:
+            st.op = OpKind::kHash;
+            set_join(*general);
+            st.build_right = r <= l;
+            st.rationale = "forced by join mode hash";
+            break;
+          case JoinMode::kEnv:  // ResolveJoinMode never returns kEnv
+          case JoinMode::kAuto: {
+            if (!has_est) {
+              st.op = OpKind::kInlj;
+              set_join(*general);
+              st.rationale = "no estimates (textual plan); inlj";
+              break;
+            }
+            if (l <= options.tiny_left) {
+              st.op = OpKind::kInlj;
+              set_join(*general);
+              st.rationale = "tiny left side (~" + CompactDouble(l) +
+                             " rows <= " + CompactDouble(options.tiny_left) +
+                             "); inlj";
+              break;
+            }
+            const double cost_inlj = l * probe_cost + o;
+            const bool presorted =
+                st.merge_ok && leading_var && VarAt(tp, *mergeable) &&
+                *VarAt(tp, *mergeable) == *leading_var;
+            const double cost_merge =
+                st.merge_ok ? (presorted ? 0 : l * Log2Of(l)) + l + r +
+                                  (1 + options.materialize_factor) * o
+                            : std::numeric_limits<double>::infinity();
+            const double cost_hash =
+                options.hash_build_factor * std::min(l, r) +
+                options.hash_probe_factor * std::max(l, r) +
+                (1 + options.materialize_factor) * o;
+            std::string costs = "est cost inlj=" + CompactDouble(cost_inlj) +
+                                (st.merge_ok ? " merge=" + CompactDouble(cost_merge)
+                                             : " merge=n/a") +
+                                " hash=" + CompactDouble(cost_hash);
+            if (cost_inlj <= cost_merge && cost_inlj <= cost_hash) {
+              st.op = OpKind::kInlj;
+              set_join(*general);
+            } else if (cost_merge <= cost_hash) {
+              st.op = OpKind::kMerge;
+              set_join(*mergeable);
+            } else {
+              st.op = OpKind::kHash;
+              set_join(*general);
+              st.build_right = r <= l;
+            }
+            st.rationale = costs + " -> " + OpName(st.op);
+            break;
+          }
+        }
+      }
+    }
+
+    switch (st.op) {
+      case OpKind::kMerge: merge_steps->Add(); break;
+      case OpKind::kHash: hash_steps->Add(); break;
+      case OpKind::kInlj: inlj_steps->Add(); break;
+      default: break;
+    }
+    for (int pos : {0, 1, 2}) {
+      if (std::optional<VarId> v = VarAt(tp, pos)) bound[*v] = true;
+    }
+    out.steps.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace shapestats::phys

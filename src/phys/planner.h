@@ -1,0 +1,38 @@
+// PhysicalPlanner: annotates an opt::Plan join order with a physical
+// operator per step, chosen from the same shape-statistics cardinalities
+// that ordered the joins (DESIGN.md §9 documents the cost model).
+#pragma once
+
+#include "opt/plan.h"
+#include "phys/physical_plan.h"
+#include "rdf/graph.h"
+#include "sparql/encoded_bgp.h"
+
+namespace shapestats::phys {
+
+struct PlannerOptions {
+  /// Operator policy; kEnv resolves SHAPESTATS_JOIN (default auto).
+  JoinMode mode = JoinMode::kEnv;
+  /// Left inputs at or below this many estimated rows always use INLJ —
+  /// a handful of index probes beats building any intermediate structure.
+  double tiny_left = 64;
+  /// Estimated cost of one Graph::Match probe, in scanned-triple units,
+  /// per log2(N) of the store size (binary searches on two bounds).
+  double probe_log_factor = 2.0;
+  /// Hash join per-row factors: building is pricier than probing.
+  double hash_build_factor = 2.0;
+  double hash_probe_factor = 1.25;
+  /// Per-output-row cost of materializing + canonical-order restoration,
+  /// charged to merge and hash (INLJ streams in canonical order for free).
+  double materialize_factor = 0.5;
+};
+
+/// Chooses a physical operator for every step of `plan.order` against
+/// `bgp`. Plans without estimates (textual optimizer) always get INLJ.
+/// The result always has exactly plan.order.size() steps, step k
+/// annotating pattern plan.order[k].
+PhysicalPlan PlanPhysical(const sparql::EncodedBgp& bgp, const opt::Plan& plan,
+                          const rdf::Graph& graph,
+                          const PlannerOptions& options = {});
+
+}  // namespace shapestats::phys

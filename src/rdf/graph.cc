@@ -137,6 +137,23 @@ std::span<const Triple> Graph::Match(OptId s, OptId p, OptId o) const {
   return {spo_.data(), spo_.size()};
 }
 
+std::vector<int> Graph::MatchOrder(bool s_bound, bool p_bound, bool o_bound) {
+  // Mirrors the index-selection logic in Match() above: for each bound
+  // signature, list the unbound components in the chosen index's component
+  // order. 0 = subject, 1 = predicate, 2 = object.
+  if (s_bound) {
+    if (p_bound) return o_bound ? std::vector<int>{} : std::vector<int>{2};
+    if (o_bound) return {1};         // OSP with (o, s) prefix → sorted by p
+    return {1, 2};                   // SPO with s prefix → sorted by (p, o)
+  }
+  if (p_bound) {
+    if (o_bound) return {0};         // POS with (p, o) prefix → sorted by s
+    return {2, 0};                   // POS with p prefix → sorted by (o, s)
+  }
+  if (o_bound) return {0, 1};        // OSP with o prefix → sorted by (s, p)
+  return {0, 1, 2};                  // full SPO scan
+}
+
 uint64_t Graph::CountMatches(OptId s, OptId p, OptId o) const {
   return Match(s, p, o).size();
 }

@@ -72,7 +72,36 @@ class Graph {
   /// Triples matching a pattern, as a contiguous span of one index.
   /// For the (S, ?, O) pattern the result comes from the OSP index with a
   /// two-component prefix, so no post-filtering is ever needed.
+  ///
+  /// Ordering contract (merge joins depend on it — see src/phys/): the
+  /// returned span is always a contiguous run of exactly one index, so it is
+  /// sorted by that index's component order. Since the bound positions are
+  /// constant across the span, the span is totally ordered by its FREE
+  /// positions, most significant first:
+  ///
+  ///   bound positions   index   span ordered by (free components)
+  ///   --------------    -----   --------------------------------
+  ///   (none)            SPO     s, p, o
+  ///   S                 SPO     p, o
+  ///   P                 POS     o, s
+  ///   O                 OSP     s, p
+  ///   S,P               SPO     o
+  ///   S,O               OSP     p
+  ///   P,O               POS     s
+  ///   S,P,O             SPO     (at most one triple)
+  ///
+  /// MatchOrder() returns this component sequence programmatically. The
+  /// contract holds for empty ranges too: a pattern with no matches yields
+  /// an empty span (never an unsorted or non-contiguous view), and the
+  /// span's data pointer is valid for pointer arithmetic even then.
   std::span<const Triple> Match(OptId s, OptId p, OptId o) const;
+
+  /// The free-component sort order of the span Match() returns for a given
+  /// bound-position signature: a sequence of component indexes
+  /// (0 = subject, 1 = predicate, 2 = object), most significant first,
+  /// covering exactly the unbound positions. Static — depends only on which
+  /// positions are bound, never on their values or the graph contents.
+  static std::vector<int> MatchOrder(bool s_bound, bool p_bound, bool o_bound);
 
   /// Number of triples matching the pattern.
   uint64_t CountMatches(OptId s, OptId p, OptId o) const;

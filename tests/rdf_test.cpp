@@ -370,6 +370,128 @@ TEST(TurtleTest, Errors) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Match() ordering contract: the span returned for every bound-position
+// signature is sorted by its free components in MatchOrder() sequence.
+// The physical merge-join operator depends on this (src/phys).
+
+TEST(MatchOrderTest, CoversExactlyTheFreeComponents) {
+  EXPECT_EQ(Graph::MatchOrder(false, false, false), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(Graph::MatchOrder(true, false, false), (std::vector<int>{1, 2}));
+  EXPECT_EQ(Graph::MatchOrder(false, true, false), (std::vector<int>{2, 0}));
+  EXPECT_EQ(Graph::MatchOrder(false, false, true), (std::vector<int>{0, 1}));
+  EXPECT_EQ(Graph::MatchOrder(true, true, false), (std::vector<int>{2}));
+  EXPECT_EQ(Graph::MatchOrder(true, false, true), (std::vector<int>{1}));
+  EXPECT_EQ(Graph::MatchOrder(false, true, true), (std::vector<int>{0}));
+  EXPECT_EQ(Graph::MatchOrder(true, true, true), std::vector<int>{});
+}
+
+TEST(MatchOrderTest, SpansAreSortedByTheDocumentedComponents) {
+  // A graph with repeated subjects, predicates and objects so every index
+  // has multi-triple runs.
+  Graph g;
+  Rng rng(7);
+  Term subs[] = {Term::Iri("http://x/s1"), Term::Iri("http://x/s2"),
+                 Term::Iri("http://x/s3"), Term::Iri("http://x/s4")};
+  Term preds[] = {Term::Iri("http://x/p1"), Term::Iri("http://x/p2"),
+                  Term::Iri("http://x/p3")};
+  Term objs[] = {Term::Iri("http://x/o1"), Term::Iri("http://x/o2"),
+                 Term::Iri("http://x/o3"), Term::Iri("http://x/o4"),
+                 Term::Iri("http://x/o5")};
+  for (int i = 0; i < 200; ++i) {
+    g.Add(subs[rng.Uniform(0, 3)], preds[rng.Uniform(0, 2)], objs[rng.Uniform(0, 4)]);
+  }
+  g.Finalize();
+  ASSERT_GT(g.NumTriples(), 0u);
+
+  TermId s1 = *g.dict().FindIri("http://x/s1");
+  TermId p1 = *g.dict().FindIri("http://x/p1");
+  TermId o1 = *g.dict().FindIri("http://x/o1");
+
+  auto comp = [](const Triple& t, int pos) {
+    return pos == 0 ? t.s : (pos == 1 ? t.p : t.o);
+  };
+  struct Sig {
+    OptId s, p, o;
+  };
+  const Sig sigs[] = {
+      {std::nullopt, std::nullopt, std::nullopt},
+      {s1, std::nullopt, std::nullopt},
+      {std::nullopt, p1, std::nullopt},
+      {std::nullopt, std::nullopt, o1},
+      {s1, p1, std::nullopt},
+      {s1, std::nullopt, o1},
+      {std::nullopt, p1, o1},
+      {s1, p1, o1},
+  };
+  for (const Sig& sig : sigs) {
+    SCOPED_TRACE(testing::Message()
+                 << "bound: " << sig.s.has_value() << sig.p.has_value()
+                 << sig.o.has_value());
+    std::vector<int> order = Graph::MatchOrder(
+        sig.s.has_value(), sig.p.has_value(), sig.o.has_value());
+    auto span = g.Match(sig.s, sig.p, sig.o);
+    // Every triple matches the constants.
+    for (const Triple& t : span) {
+      if (sig.s) {
+        EXPECT_EQ(t.s, *sig.s);
+      }
+      if (sig.p) {
+        EXPECT_EQ(t.p, *sig.p);
+      }
+      if (sig.o) {
+        EXPECT_EQ(t.o, *sig.o);
+      }
+    }
+    // The span is sorted by the free components, most significant first,
+    // with no duplicate triples (free components strictly increase).
+    for (size_t i = 1; i < span.size(); ++i) {
+      bool strictly_less = false;
+      for (int pos : order) {
+        if (comp(span[i - 1], pos) != comp(span[i], pos)) {
+          EXPECT_LT(comp(span[i - 1], pos), comp(span[i], pos));
+          strictly_less = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(strictly_less) << "duplicate triple at " << i;
+    }
+    // Completeness against the brute-force oracle.
+    uint64_t expected = 0;
+    for (const Triple& t : g.triples()) {
+      if ((!sig.s || t.s == *sig.s) && (!sig.p || t.p == *sig.p) &&
+          (!sig.o || t.o == *sig.o)) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(span.size(), expected);
+  }
+}
+
+TEST(MatchOrderTest, EmptyRangesAreValidSpans) {
+  Graph g;
+  g.Add(Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+        Term::Iri("http://x/o"));
+  g.Finalize();
+  TermId s = *g.dict().FindIri("http://x/s");
+  TermId p = *g.dict().FindIri("http://x/p");
+  TermId o = *g.dict().FindIri("http://x/o");
+  // Unknown-id probes and contradictory combinations all yield empty (but
+  // valid) spans, never errors.
+  TermId bogus = static_cast<TermId>(9999);
+  EXPECT_TRUE(g.Match(bogus, std::nullopt, std::nullopt).empty());
+  EXPECT_TRUE(g.Match(std::nullopt, bogus, std::nullopt).empty());
+  EXPECT_TRUE(g.Match(std::nullopt, std::nullopt, bogus).empty());
+  EXPECT_TRUE(g.Match(o, p, s).empty() || s == o);  // swapped ends
+  EXPECT_TRUE(g.PredicateBySubject(bogus).empty());
+  EXPECT_TRUE(g.PredicateByObject(bogus).empty());
+  auto empty = g.Match(bogus, std::nullopt, std::nullopt);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.begin(), empty.end());
+  // The non-empty case still matches.
+  EXPECT_EQ(g.Match(s, p, o).size(), 1u);
+}
+
 TEST(TurtleTest, NestedBlankNodes) {
   Graph g;
   std::string ttl =

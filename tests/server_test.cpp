@@ -537,6 +537,39 @@ TEST_F(SparqlServerFixture, AccuracyEndpointServesLedgerJson) {
   EXPECT_TRUE(resp.body[0] == '[' || resp.body[0] == '{');
 }
 
+TEST_F(SparqlServerFixture, AccuracyBucketsSplitByPhysicalOperator) {
+  // An engine forced to hash joins records its traced executions under the
+  // physical operator name, so /accuracy exposes per-operator q-error
+  // buckets instead of one generic "join" population.
+  datagen::LubmOptions lubm;
+  lubm.universities = 1;
+  engine::EngineOptions eng_opts;
+  eng_opts.join_mode = phys::JoinMode::kHash;
+  auto hashed =
+      engine::QueryEngine::Open(datagen::GenerateLubm(lubm), eng_opts);
+  ASSERT_TRUE(hashed.ok()) << hashed.status().ToString();
+  hashed->ResetAccuracyLedger();
+
+  SparqlServer srv(&*hashed, ServerOptions());
+  ASSERT_TRUE(srv.Start().ok());
+  // No LIMIT: truncated executions are excluded from the ledger.
+  constexpr char kExact[] =
+      "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x ?n WHERE { ?x a ub:FullProfessor . ?x ub:name ?n }";
+  ClientResponse run = Get(srv.port(), "/sparql?query=" + UrlEncode(kExact));
+  ASSERT_EQ(run.status, 200);
+
+  ClientResponse resp = Get(srv.port(), "/accuracy");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"join_type\":\"scan\""), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"join_type\":\"hash\""), std::string::npos)
+      << resp.body;
+  EXPECT_EQ(resp.body.find("\"join_type\":\"join\""), std::string::npos)
+      << resp.body;
+  srv.Stop();
+}
+
 TEST_F(SparqlServerFixture, MetricsExposePrometheusServerSeries) {
   SparqlServer srv(engine_, ServerOptions());
   ASSERT_TRUE(srv.Start().ok());
