@@ -13,6 +13,8 @@
 //     --timeout-ms MS     per-query execution timeout (default 10000; 0 = none)
 //     --slow-ms MS        slow-query log latency threshold (default 250)
 //     --slow-log FILE     slow-query JSONL path (default: SHAPESTATS_SLOW_QUERY_LOG)
+//     --plan-cache B      on|off: template plan cache + feedback-corrected
+//                         estimates (default: SHAPESTATS_PLAN_CACHE)
 //     --universities N    size of the generated demo dataset (default 2)
 //
 // Routes: /sparql /explain /metrics /healthz /accuracy (see DESIGN.md §8).
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   opts.http.port = 8585;
   double timeout_ms = 10000;
   int universities = 2;
+  engine::EngineOptions eopts;
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -71,6 +74,16 @@ int main(int argc, char** argv) {
       opts.slow_query_ms = std::atof(next());
     } else if (std::strcmp(argv[i], "--slow-log") == 0) {
       opts.slow_query_log = next();
+    } else if (std::strcmp(argv[i], "--plan-cache") == 0) {
+      const char* v = next();
+      if (std::strcmp(v, "on") == 0) {
+        eopts.plan_cache = engine::EngineOptions::PlanCacheMode::kOn;
+      } else if (std::strcmp(v, "off") == 0) {
+        eopts.plan_cache = engine::EngineOptions::PlanCacheMode::kOff;
+      } else {
+        std::fprintf(stderr, "sparql_server: --plan-cache wants on|off\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--universities") == 0) {
       universities = std::atoi(next());
     } else if (argv[i][0] == '-') {
@@ -81,7 +94,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  engine::EngineOptions eopts;
   eopts.exec.timeout_ms = timeout_ms;
   Result<engine::QueryEngine> opened = [&]() -> Result<engine::QueryEngine> {
     if (data_file != nullptr) {
@@ -100,9 +112,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   engine::QueryEngine eng = std::move(opened).value();
-  std::printf("engine ready: %s triples, optimizer %s, query timeout %.0f ms\n",
+  std::printf("engine ready: %s triples, optimizer %s, query timeout %.0f ms, "
+              "plan cache %s\n",
               std::to_string(eng.graph().NumTriples()).c_str(),
-              engine::OptimizerName(eng.options().optimizer), timeout_ms);
+              engine::OptimizerName(eng.options().optimizer), timeout_ms,
+              eng.plan_cache() != nullptr ? "on" : "off");
 
   server::SparqlServer srv(&eng, opts);
   Status st = srv.Start();

@@ -19,6 +19,8 @@
 //                        empty / empty-by-stats) plus inferred class
 //                        constraints and lint findings, without executing
 //   .audit               audit global + shape statistics consistency
+//   .cache               plan-cache size / hit-rate / evictions plus the
+//                        per-template learned correction factors
 //   .metrics             dump the process-wide metrics registry
 //   .metrics reset       zero every counter and histogram
 //   .events [n]          tail the last n structured EventLog entries
@@ -145,8 +147,9 @@ int main(int argc, char** argv) {
     if (trimmed == ".help") {
       std::printf(
           ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
-          ".lint <query> | .check <query> | .audit | .metrics [reset] | "
-          ".events [n] | .accuracy | .trace <file> | .quit\n");
+          ".lint <query> | .check <query> | .audit | .cache | "
+          ".metrics [reset] | .events [n] | .accuracy | .trace <file> | "
+          ".quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
     } else if (trimmed == ".audit") {
@@ -214,6 +217,25 @@ int main(int argc, char** argv) {
                   events.size() - from,
                   static_cast<unsigned long long>(log.total_emitted()),
                   static_cast<unsigned long long>(log.dropped()));
+    } else if (trimmed == ".cache") {
+      cache::PlanCache* pc = eng.plan_cache();
+      if (pc == nullptr) {
+        std::printf("plan cache disabled (SHAPESTATS_PLAN_CACHE=0)\n");
+      } else {
+        cache::PlanCache::StatsSnapshot s = pc->stats();
+        std::printf(
+            "entries: %zu/%zu   hits: %llu   misses: %llu   hit-rate: %.1f%%\n",
+            s.size, s.capacity, static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.misses), 100.0 * s.hit_rate);
+        std::printf(
+            "evictions: %llu   invalidations: %llu   bypasses: %llu   "
+            "corrections published: %llu\n",
+            static_cast<unsigned long long>(s.evictions),
+            static_cast<unsigned long long>(s.invalidations),
+            static_cast<unsigned long long>(s.bypasses),
+            static_cast<unsigned long long>(s.corrections));
+        std::fputs(pc->feedback().ToTable().c_str(), stdout);
+      }
     } else if (trimmed == ".metrics") {
       std::fputs(obs::MetricsRegistry::Global().ToText().c_str(), stdout);
     } else if (trimmed == ".metrics reset") {

@@ -1,0 +1,415 @@
+#include "cache/template_key.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <numeric>
+
+namespace shapestats::cache {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixByte(uint64_t h, uint8_t b) { return (h ^ b) * kFnvPrime; }
+
+/// splitmix64 finalizer: cheap, well-distributed 64-bit mixer for the
+/// internal refinement colors (the published template hash stays FNV-1a
+/// of the key string).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combine (Mix(Mix(h,a),b) != Mix(Mix(h,b),a)).
+uint64_t Mix(uint64_t h, uint64_t v) { return Mix64(h ^ Mix64(v)); }
+
+uint64_t HashBytes(const std::string& s) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : s) h = MixByte(h, c);
+  return h;
+}
+
+/// How one pattern slot enters the canonical form.
+enum class SlotClass : uint8_t {
+  kVar,       // alpha-renamed variable
+  kConcrete,  // constant kept verbatim (predicate / rdf:type object)
+  kParam,     // constant parameterized out (identity class only)
+};
+
+struct Slot {
+  SlotClass cls = SlotClass::kVar;
+  uint32_t node = 0;      // var id (kVar) or param class (kParam)
+  uint64_t concrete = 0;  // term id (kConcrete)
+};
+
+/// Per-thread working set reused across calls: canonicalization sits on the
+/// cache-hit fast path, so the dozen small vectors it needs are kept warm
+/// instead of reallocated per query.
+struct Scratch {
+  std::vector<std::array<Slot, 3>> slots;
+  std::vector<uint32_t> param_ids;  // term id per parameter class
+  std::vector<uint64_t> sig, vcol, pcol, pat_color, vacc, pacc, color_scratch;
+  std::vector<uint32_t> perm, prev, vcanon, pcanon;
+  std::vector<std::array<uint64_t, 6>> exact;
+};
+
+Scratch& GetScratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::string CanonicalTemplate::ShortId() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "t:%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+CanonicalTemplate CanonicalizeTemplate(const sparql::ParsedQuery& query,
+                                       const sparql::EncodedBgp& bgp,
+                                       rdf::TermId rdf_type_id) {
+  CanonicalTemplate out;
+  const size_t n = bgp.patterns.size();
+  if (n == 0) {
+    out.bypass_reason = "empty-bgp";
+    return out;
+  }
+  for (const auto& tp : bgp.patterns) {
+    if (tp.HasMissingConstant()) {
+      // Estimates for missing constants are value-sensitive (they collapse
+      // to zero); the static checker short-circuits these queries anyway.
+      out.bypass_reason = "missing-constant";
+      return out;
+    }
+  }
+
+  // --- Classify every slot: variable, concrete constant, or parameter. ---
+  Scratch& sc = GetScratch();
+  const size_t num_vars = bgp.var_names.size();
+  // term id -> class, by linear scan: queries carry a handful of constants.
+  std::vector<uint32_t>& param_ids = sc.param_ids;
+  param_ids.clear();
+  auto ParamClassOf = [&](uint32_t term_id) {
+    for (uint32_t c = 0; c < param_ids.size(); ++c) {
+      if (param_ids[c] == term_id) return c;
+    }
+    param_ids.push_back(term_id);
+    return static_cast<uint32_t>(param_ids.size() - 1);
+  };
+  std::vector<std::array<Slot, 3>>& slots = sc.slots;
+  slots.assign(n, {});
+  for (size_t i = 0; i < n; ++i) {
+    const auto& tp = bgp.patterns[i];
+    const sparql::EncodedTerm terms[3] = {tp.s, tp.p, tp.o};
+    for (int pos = 0; pos < 3; ++pos) {
+      const auto& t = terms[pos];
+      Slot& slot = slots[i][pos];
+      if (t.is_var()) {
+        slot = {SlotClass::kVar, t.id, 0};
+        continue;
+      }
+      const bool is_predicate = pos == 1;
+      const bool is_type_object =
+          pos == 2 && tp.p.is_bound() && rdf_type_id != rdf::kInvalidTermId &&
+          tp.p.id == rdf_type_id;
+      if (is_predicate || is_type_object) {
+        slot = {SlotClass::kConcrete, 0, t.id};
+      } else {
+        slot = {SlotClass::kParam, ParamClassOf(t.id), 0};
+      }
+    }
+  }
+  const size_t num_params = param_ids.size();
+
+  // --- Structural signature per pattern (color-independent part). ---
+  std::vector<uint64_t>& sig = sc.sig;
+  sig.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t h = kFnvOffset;
+    for (int pos = 0; pos < 3; ++pos) {
+      const Slot& s = slots[i][pos];
+      h = Mix(h, static_cast<uint64_t>(s.cls));
+      if (s.cls == SlotClass::kConcrete) h = Mix(h, s.concrete);
+    }
+    sig[i] = h;
+  }
+
+  // --- Seed variable colors with their roles outside the BGP so that
+  // projection / ORDER BY / FILTER usage distinguishes otherwise-symmetric
+  // variables (and so stays stable under renaming). Variable-name lookups
+  // scan var_names directly; BGPs hold at most a few dozen variables. ---
+  auto FindVar = [&](const std::string& name) -> int {
+    for (size_t v = 0; v < num_vars; ++v) {
+      if (bgp.var_names[v] == name) return static_cast<int>(v);
+    }
+    return -1;
+  };
+
+  std::vector<uint64_t>& vcol = sc.vcol;
+  vcol.assign(num_vars, Mix(kFnvOffset, 1));
+  if (!query.select_all && !query.count_aggregate) {
+    for (size_t pi = 0; pi < query.projection.size(); ++pi) {
+      int v = FindVar(query.projection[pi].name);
+      if (v >= 0) vcol[v] = Mix(vcol[v], 0x70 + pi);
+    }
+  }
+  if (query.order_by) {
+    int v = FindVar(query.order_by->var.name);
+    if (v >= 0) vcol[v] = Mix(vcol[v], query.order_by->descending ? 0x0d : 0x0a);
+  }
+  for (const auto& f : query.filters) {
+    // A filter's shape (operator + the concrete constant on the other
+    // side) seeds the colors of the variables it mentions.
+    uint64_t fsig = Mix(kFnvOffset, static_cast<uint64_t>(f.op));
+    const sparql::PatternTerm* operands[2] = {&f.lhs, &f.rhs};
+    for (int side = 0; side < 2; ++side) {
+      if (!sparql::IsVar(*operands[side]))
+        fsig = Mix(fsig, HashBytes(sparql::AsTerm(*operands[side]).ToNTriples()));
+    }
+    for (int side = 0; side < 2; ++side) {
+      if (!sparql::IsVar(*operands[side])) continue;
+      int v = FindVar(sparql::AsVar(*operands[side]).name);
+      if (v >= 0) vcol[v] = Mix(Mix(vcol[v], fsig), 0x40 + side);
+    }
+  }
+  std::vector<uint64_t>& pcol = sc.pcol;
+  pcol.assign(num_params, Mix(kFnvOffset, 2));
+
+  // --- WL color refinement: pattern colors from slot colors, then slot
+  // node colors from the *multiset* of incident pattern colors
+  // (accumulated as a commutative sum of mixed contributions — order of
+  // accumulation cannot matter, so no per-round sort or allocation).
+  // Converges to an input-order-independent coloring for every BGP whose
+  // structure distinguishes its patterns; genuinely automorphic patterns
+  // keep equal colors (any tie-break yields the same canonical string). ---
+  std::vector<uint64_t>& pat_color = sc.pat_color;
+  pat_color.assign(n, 0);
+  auto ComputePatternColors = [&]() {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t h = sig[i];
+      for (int pos = 0; pos < 3; ++pos) {
+        const Slot& s = slots[i][pos];
+        switch (s.cls) {
+          case SlotClass::kVar: h = Mix(h, vcol[s.node]); break;
+          case SlotClass::kParam: h = Mix(h, pcol[s.node]); break;
+          case SlotClass::kConcrete: h = Mix(h, Mix(0x9e3779b9, s.concrete));
+        }
+      }
+      pat_color[i] = h;
+    }
+  };
+  const size_t rounds = std::min<size_t>(n + 2, 12);
+  std::vector<uint64_t>& vacc = sc.vacc;
+  std::vector<uint64_t>& pacc = sc.pacc;
+  vacc.resize(num_vars);
+  pacc.resize(num_params);
+  // Refinement only ever splits color classes (equal new colors require
+  // equal old colors and equal neighborhoods), so an unchanged number of
+  // distinct node colors means the partition reached its fixpoint and
+  // further rounds cannot refine it. The distinct count is a property of
+  // the color multiset, which is input-order independent, so the early
+  // exit fires on the same round for every instance of a template.
+  auto DistinctColors = [&]() {
+    std::vector<uint64_t>& all = sc.color_scratch;
+    all.assign(vcol.begin(), vcol.end());
+    all.insert(all.end(), pcol.begin(), pcol.end());
+    std::sort(all.begin(), all.end());
+    return static_cast<size_t>(
+        std::unique(all.begin(), all.end()) - all.begin());
+  };
+  size_t prev_distinct = 0;
+  for (size_t round = 0; round < rounds; ++round) {
+    ComputePatternColors();
+    std::fill(vacc.begin(), vacc.end(), 0);
+    std::fill(pacc.begin(), pacc.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (int pos = 0; pos < 3; ++pos) {
+        const Slot& s = slots[i][pos];
+        if (s.cls == SlotClass::kConcrete) continue;
+        const uint64_t contrib =
+            Mix64(pat_color[i] ^ (0x9e3779b97f4a7c15ull * (pos + 1)));
+        if (s.cls == SlotClass::kVar) {
+          vacc[s.node] += contrib;
+        } else {
+          pacc[s.node] += contrib;
+        }
+      }
+    }
+    for (size_t v = 0; v < num_vars; ++v) vcol[v] = Mix(vcol[v], vacc[v]);
+    for (size_t p = 0; p < num_params; ++p) pcol[p] = Mix(pcol[p], pacc[p]);
+    const size_t distinct = DistinctColors();
+    if (round > 0 && distinct == prev_distinct) break;
+    prev_distinct = distinct;
+  }
+  ComputePatternColors();
+
+  // --- Order patterns by refined color; ties keep input order (only
+  // automorphic or WL-indistinguishable patterns tie). ---
+  std::vector<uint32_t>& perm = sc.perm;
+  perm.resize(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return pat_color[a] != pat_color[b] ? pat_color[a] < pat_color[b]
+                                        : sig[a] < sig[b];
+  });
+
+  // --- Stabilize against the exact alpha-renamed form: assign canonical
+  // ids by first occurrence in the current order, re-sort by the exact
+  // labeled patterns, repeat to a fixpoint. ---
+  constexpr uint32_t kUnassigned = 0xffffffffu;
+  std::vector<uint32_t>& vcanon = sc.vcanon;
+  std::vector<uint32_t>& pcanon = sc.pcanon;
+  vcanon.assign(num_vars, kUnassigned);
+  pcanon.assign(num_params, kUnassigned);
+  auto AssignIds = [&]() {
+    std::fill(vcanon.begin(), vcanon.end(), kUnassigned);
+    std::fill(pcanon.begin(), pcanon.end(), kUnassigned);
+    uint32_t next_v = 0, next_p = 0;
+    for (uint32_t pi : perm) {
+      for (int pos = 0; pos < 3; ++pos) {
+        const Slot& s = slots[pi][pos];
+        if (s.cls == SlotClass::kVar && vcanon[s.node] == kUnassigned)
+          vcanon[s.node] = next_v++;
+        if (s.cls == SlotClass::kParam && pcanon[s.node] == kUnassigned)
+          pcanon[s.node] = next_p++;
+      }
+    }
+  };
+  using ExactKey = std::array<uint64_t, 6>;
+  auto ExactOf = [&](uint32_t pi) {
+    ExactKey k{};
+    for (int pos = 0; pos < 3; ++pos) {
+      const Slot& s = slots[pi][pos];
+      k[2 * pos] = static_cast<uint64_t>(s.cls);
+      switch (s.cls) {
+        case SlotClass::kVar: k[2 * pos + 1] = vcanon[s.node]; break;
+        case SlotClass::kParam: k[2 * pos + 1] = pcanon[s.node]; break;
+        case SlotClass::kConcrete: k[2 * pos + 1] = s.concrete; break;
+      }
+    }
+    return k;
+  };
+  std::vector<ExactKey>& exact = sc.exact;
+  std::vector<uint32_t>& prev = sc.prev;
+  exact.resize(n);
+  prev.resize(n);
+  for (size_t round = 0; round < n + 2; ++round) {
+    AssignIds();
+    for (size_t i = 0; i < n; ++i) exact[i] = ExactOf(static_cast<uint32_t>(i));
+    prev = perm;
+    std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+      return exact[a] < exact[b];
+    });
+    if (perm == prev) break;
+  }
+  AssignIds();
+
+  // --- Render the key. Offset/limit are deliberately excluded: they do
+  // not affect the logical plan, the physical plan before the engine's
+  // per-instance ASK/LIMIT pipelining downgrade, or the verdict. ---
+  std::string key;
+  key.reserve(64 + 24 * n);
+  key += query.is_ask ? "ask" : query.count_aggregate ? "count" : "sel";
+  if (query.distinct) key += ",distinct";
+  key += ";proj=";
+  auto AppendVarByName = [&](const std::string& name) {
+    int v = FindVar(name);
+    if (v >= 0) {
+      key += 'v';
+      key += std::to_string(vcanon[v]);
+    } else {
+      key += "u:";  // variable absent from the BGP (always unbound)
+      key += name;
+    }
+  };
+  if (query.select_all || query.count_aggregate) {
+    key += '*';
+  } else {
+    for (size_t pi = 0; pi < query.projection.size(); ++pi) {
+      if (pi) key += ',';
+      AppendVarByName(query.projection[pi].name);
+    }
+  }
+  key += ";bgp=";
+  for (uint32_t pi : perm) {
+    key += '(';
+    for (int pos = 0; pos < 3; ++pos) {
+      if (pos) key += ' ';
+      const Slot& s = slots[pi][pos];
+      switch (s.cls) {
+        case SlotClass::kVar:
+          key += 'v';
+          key += std::to_string(vcanon[s.node]);
+          break;
+        case SlotClass::kParam:
+          key += 'p';
+          key += std::to_string(pcanon[s.node]);
+          break;
+        case SlotClass::kConcrete:
+          key += 'c';
+          key += std::to_string(s.concrete);
+          break;
+      }
+    }
+    key += ')';
+  }
+  if (!query.filters.empty()) {
+    std::vector<std::string> rendered;
+    rendered.reserve(query.filters.size());
+    for (const auto& f : query.filters) {
+      std::string fs = "f(";
+      const sparql::PatternTerm* operands[2] = {&f.lhs, &f.rhs};
+      for (int side = 0; side < 2; ++side) {
+        if (side) {
+          fs += ' ';
+          fs += sparql::CompareOpName(f.op);
+          fs += ' ';
+        }
+        if (sparql::IsVar(*operands[side])) {
+          const std::string& name = sparql::AsVar(*operands[side]).name;
+          int v = FindVar(name);
+          if (v >= 0) {
+            fs += 'v';
+            fs += std::to_string(vcanon[v]);
+          } else {
+            fs += "u:" + name;
+          }
+        } else {
+          fs += sparql::AsTerm(*operands[side]).ToNTriples();
+        }
+      }
+      fs += ')';
+      rendered.push_back(std::move(fs));
+    }
+    std::sort(rendered.begin(), rendered.end());
+    key += ";filters=";
+    for (const auto& fs : rendered) key += fs;
+  }
+  if (query.order_by) {
+    key += ";ord=";
+    AppendVarByName(query.order_by->var.name);
+    key += query.order_by->descending ? ":desc" : ":asc";
+  }
+
+  out.cacheable = true;
+  out.key = std::move(key);
+  out.hash = HashBytes(out.key);
+  out.canon_to_instance = perm;
+  out.instance_to_canon.assign(n, 0);
+  for (uint32_t c = 0; c < n; ++c) out.instance_to_canon[perm[c]] = c;
+  out.var_canon_to_instance.assign(num_vars, 0);
+  out.var_instance_to_canon.assign(num_vars, 0);
+  for (size_t v = 0; v < num_vars; ++v) {
+    out.var_instance_to_canon[v] = vcanon[v];
+    out.var_canon_to_instance[vcanon[v]] = static_cast<sparql::VarId>(v);
+  }
+  out.num_params = static_cast<uint32_t>(num_params);
+  return out;
+}
+
+}  // namespace shapestats::cache

@@ -1,0 +1,21 @@
+#include "card/corrected.h"
+
+#include <algorithm>
+
+namespace shapestats::card {
+
+std::vector<TpEstimate> CorrectedProvider::Correct(
+    std::vector<TpEstimate> est) const {
+  const size_t n = std::min(est.size(), factors_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double f = factors_[i];
+    if (f == 1.0) continue;
+    est[i].card = std::max(est[i].card * f, 0.0);
+    // Distinct counts cannot exceed the corrected row count.
+    est[i].dsc = std::min(est[i].dsc, std::max(est[i].card, 1.0));
+    est[i].doc = std::min(est[i].doc, std::max(est[i].card, 1.0));
+  }
+  return est;
+}
+
+}  // namespace shapestats::card

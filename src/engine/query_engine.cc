@@ -2,11 +2,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "analysis/plan_verify.h"
 #include "analysis/query_lint.h"
+#include "card/corrected.h"
 #include "exec/executor.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
@@ -22,6 +26,64 @@
 #include "util/timer.h"
 
 namespace shapestats::engine {
+
+namespace {
+
+/// Resolves EngineOptions::plan_cache against SHAPESTATS_PLAN_CACHE.
+bool PlanCacheEnabled(EngineOptions::PlanCacheMode mode) {
+  switch (mode) {
+    case EngineOptions::PlanCacheMode::kOn: return true;
+    case EngineOptions::PlanCacheMode::kOff: return false;
+    case EngineOptions::PlanCacheMode::kEnv: break;
+  }
+  const char* env = std::getenv("SHAPESTATS_PLAN_CACHE");
+  if (env == nullptr || *env == '\0') return false;
+  const std::string_view v(env);
+  return v != "0" && v != "off" && v != "false" && v != "no";
+}
+
+/// Per-step observed/estimated ratios attributed to the pattern each step
+/// introduced, expressed against the *uncorrected* estimate (applied
+/// factors composed back in) in canonical pattern numbering. Step 0 blames
+/// the opening scan's pattern directly; step k >= 1 blames its pattern
+/// with the incremental ratio (true_k/true_{k-1}) / (est_k/est_{k-1}), so
+/// upstream misestimates are not double-counted downstream.
+std::vector<cache::FeedbackStore::Sample> FeedbackSamples(
+    const cache::CanonicalTemplate& tmpl, const opt::Plan& plan,
+    const std::vector<uint64_t>& truth) {
+  std::vector<cache::FeedbackStore::Sample> samples;
+  const std::vector<double>& est = plan.step_estimates;
+  const std::vector<double>& factors = plan.correction_factors;
+  const size_t n = std::min(est.size(), truth.size());
+  double prev_t = 0;
+  double prev_e = 0;
+  for (size_t k = 0; k < n && k < plan.order.size(); ++k) {
+    const uint32_t tp = plan.order[k];
+    if (tp >= tmpl.instance_to_canon.size()) break;
+    const double applied = tp < factors.size() ? factors[tp] : 1.0;
+    // A true count of zero still carries signal (the estimate was high);
+    // clamp to 0.5 so the log-ratio stays finite.
+    const double t = std::max(static_cast<double>(truth[k]), 0.5);
+    const double e = est[k];
+    if (!(e > 0) || !std::isfinite(e)) break;
+    double ratio;
+    if (k == 0) {
+      ratio = t / e * applied;
+    } else {
+      if (!(prev_t > 0) || !(prev_e > 0)) break;
+      ratio = (t / prev_t) / (e / prev_e) * applied;
+    }
+    samples.push_back({tmpl.instance_to_canon[tp], ratio});
+    // Once the true intermediate hits zero every later step is zero too —
+    // no attributable signal remains.
+    if (truth[k] == 0) break;
+    prev_t = t;
+    prev_e = e;
+  }
+  return samples;
+}
+
+}  // namespace
 
 const char* OptimizerName(EngineOptions::Optimizer opt) {
   switch (opt) {
@@ -82,6 +144,10 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
     case EngineOptions::Optimizer::kTextual:
       break;
   }
+  if (PlanCacheEnabled(options.plan_cache)) {
+    st.plan_cache =
+        std::make_unique<cache::PlanCache>(options.plan_cache_options);
+  }
   obs::PublishPoolMetrics(pool != nullptr ? *pool : util::ThreadPool::Shared());
   obs::EventLog& log = obs::EventLog::Global();
   if (log.active()) {
@@ -120,7 +186,8 @@ analysis::ShapeChecker QueryEngine::Checker() const {
 
 Result<opt::Plan> QueryEngine::PlanQuery(
     const sparql::EncodedBgp& bgp, obs::PlannerTrace* trace,
-    const std::unordered_map<sparql::VarId, rdf::TermId>* inferred) const {
+    const std::unordered_map<sparql::VarId, rdf::TermId>* inferred,
+    const std::vector<double>* corrections) const {
   opt::Plan plan;
   if (state_->estimator == nullptr) {
     plan.provider = "textual";
@@ -138,14 +205,26 @@ Result<opt::Plan> QueryEngine::PlanQuery(
       }
       plan.has_cartesian = !joins;
     }
-  } else if (inferred != nullptr && !inferred->empty()) {
+  } else {
     // Static-checker-proven class anchors tighten the shape estimates for
     // untyped subject variables (per-query provider view; the shared
     // estimator stays untouched).
-    card::AnchoredEstimator anchored(*state_->estimator, *inferred);
-    plan = opt::PlanJoinOrder(bgp, anchored, trace);
-  } else {
-    plan = opt::PlanJoinOrder(bgp, *state_->estimator, trace);
+    const card::PlannerStatsProvider* provider = state_->estimator.get();
+    std::optional<card::AnchoredEstimator> anchored;
+    if (inferred != nullptr && !inferred->empty()) {
+      anchored.emplace(*state_->estimator, *inferred);
+      provider = &*anchored;
+    }
+    if (corrections != nullptr && !corrections->empty()) {
+      // Feedback-learned adjustment factors scale the per-pattern
+      // cardinalities (card::CorrectedProvider) — same provider label, so
+      // ledger populations stay comparable.
+      card::CorrectedProvider corrected(*provider, *corrections);
+      plan = opt::PlanJoinOrder(bgp, corrected, trace);
+      plan.correction_factors = *corrections;
+    } else {
+      plan = opt::PlanJoinOrder(bgp, *provider, trace);
+    }
   }
   if (state_->options.verify_plans) {
     analysis::Diagnostics diags = analysis::PlanVerifier().Verify(plan, bgp);
@@ -290,89 +369,216 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
   }
   QueryResult result;
   result.shape = sparql::ClassifyShape(bgp);
+  if (trace != nullptr) {
+    // Shape classification runs on every query regardless of caching, so it
+    // gets its own phase instead of inflating the static-check span.
+    trace->AddPhase("analyze", phase.ElapsedMs());
+    phase.Reset();
+  }
   if (log.active()) {
     log.Emit(obs::Event("query.start")
                  .Str("query_shape", sparql::QueryShapeName(result.shape))
                  .Uint("patterns", bgp.patterns.size()));
   }
 
-  // Shape-aware static check: a provably-empty BGP is answered with zero
-  // rows right here, skipping optimize + execute; a satisfiable one may
-  // still contribute inferred class anchors to the estimator.
-  std::unordered_map<sparql::VarId, rdf::TermId> inferred_anchors;
-  if (state_->options.static_check) {
+  // Plan-cache lookup: canonicalize the query into its BGP template and
+  // try to reuse the stored verdict + plans. Bypassed (uncacheable)
+  // queries and cache-less engines take the unchanged path below.
+  cache::PlanCache* pcache = state_->plan_cache.get();
+  cache::CanonicalTemplate tmpl;
+  std::shared_ptr<const cache::CachedPlan> cached;
+  bool cache_eligible = false;
+  if (pcache != nullptr) {
+    tmpl = cache::CanonicalizeTemplate(query, bgp, state_->gs.rdf_type_id);
+    if (tmpl.cacheable) {
+      cache_eligible = true;
+      cached = pcache->Get(tmpl.key);
+    } else {
+      pcache->NoteBypass();
+    }
+  }
+  if (cached != nullptr && trace != nullptr) {
+    trace->plan_cached = true;
+    trace->cache_template = cached->short_id;
+  }
+
+  // Answers a provably-empty query with zero rows (verdict from the
+  // checker or the cache), skipping optimize + execute.
+  auto finish_empty = [&]() {
     static obs::Counter* short_circuits =
         obs::MetricsRegistry::Global().GetCounter(
             "static_check.short_circuits");
-    analysis::ShapeCheckResult check = Checker().Check(query, bgp);
-    if (trace != nullptr) {
-      trace->static_verdict = analysis::SatisfiabilityName(check.verdict);
-      trace->AddPhase("static-check", phase.ElapsedMs());
-      phase.Reset();
-    }
-    if (log.active() &&
-        (check.provably_empty() || !check.inferred.empty())) {
-      log.Emit(obs::Event("query.static")
-                   .Str("verdict", analysis::SatisfiabilityName(check.verdict))
-                   .Str("rule", check.rule)
-                   .Uint("findings", check.diagnostics.size())
-                   .Uint("inferred", check.inferred.size()));
-    }
-    if (check.provably_empty()) {
-      // Degenerate queries (unbound projection / FILTER / ORDER BY
-      // variables) must keep failing exactly as the executor would fail
-      // them — only clean queries take the short-circuit.
-      analysis::Diagnostics full_lint =
-          analysis::QueryLint(state_->gs, state_->graph.dict())
-              .Lint(query, bgp);
-      if (!analysis::HasErrors(full_lint)) {
-        result.plan.provider = "static-empty";
-        if (query.is_ask) {
-          result.ask = false;
-        } else if (query.count_aggregate) {
-          result.count = 0;
-        } else if (query.select_all) {
-          result.table.var_names = bgp.var_names;
-        } else {
-          for (const sparql::Variable& v : query.projection) {
-            result.table.var_names.push_back(v.name);
-          }
-        }
-        result.plan_ms = timer.ElapsedMs();
-        result.total_ms = result.plan_ms;
-        queries->Add();
-        query_ms->Observe(result.total_ms);
-        short_circuits->Add();
-        if (trace != nullptr) {
-          trace->optimizer = result.plan.provider;
-          trace->query_shape = sparql::QueryShapeName(result.shape);
-          trace->num_results = 0;
-          trace->total_ms = result.total_ms;
-        }
-        if (log.active()) {
-          log.Emit(obs::Event("query.finish")
-                       .Str("optimizer", result.plan.provider)
-                       .Str("query_shape", sparql::QueryShapeName(result.shape))
-                       .Uint("results", 0)
-                       .Bool("timed_out", false)
-                       .Num("ms", result.total_ms));
-        }
-        return result;
+    result.plan.provider = "static-empty";
+    if (query.is_ask) {
+      result.ask = false;
+    } else if (query.count_aggregate) {
+      result.count = 0;
+    } else if (query.select_all) {
+      result.table.var_names = bgp.var_names;
+    } else {
+      for (const sparql::Variable& v : query.projection) {
+        result.table.var_names.push_back(v.name);
       }
     }
-    if (state_->options.infer_constraints && !check.inferred.empty()) {
-      inferred_anchors = check.InferredAnchors(state_->gs);
+    result.plan_ms = timer.ElapsedMs();
+    result.total_ms = result.plan_ms;
+    queries->Add();
+    query_ms->Observe(result.total_ms);
+    short_circuits->Add();
+    if (trace != nullptr) {
+      trace->optimizer = result.plan.provider;
+      trace->query_shape = sparql::QueryShapeName(result.shape);
+      trace->num_results = 0;
+      trace->total_ms = result.total_ms;
+    }
+    if (log.active()) {
+      log.Emit(obs::Event("query.finish")
+                   .Str("optimizer", result.plan.provider)
+                   .Str("query_shape", sparql::QueryShapeName(result.shape))
+                   .Uint("results", 0)
+                   .Bool("timed_out", false)
+                   .Num("ms", result.total_ms));
+    }
+    return result;
+  };
+
+  std::unordered_map<sparql::VarId, rdf::TermId> inferred_anchors;
+  if (cached != nullptr) {
+    // Cache hit: the stored verdict and plans are valid for every instance
+    // of the template (estimates and emptiness rules are value-independent
+    // given the key's concrete predicates, class constants, and
+    // constant-distinctness classes).
+    if (cached->checked) {
+      if (trace != nullptr) {
+        trace->static_verdict = analysis::SatisfiabilityName(cached->verdict);
+        trace->AddPhase("static-check", phase.ElapsedMs());
+        phase.Reset();
+      }
+      if (cached->verdict != analysis::Satisfiability::kSatisfiable &&
+          !cached->lint_errors) {
+        return finish_empty();
+      }
+      if (state_->options.infer_constraints) {
+        for (const auto& [canon_var, cls] : cached->inferred) {
+          if (canon_var < tmpl.var_canon_to_instance.size()) {
+            inferred_anchors[tmpl.var_canon_to_instance[canon_var]] = cls;
+          }
+        }
+      }
+    }
+    result.plan = cache::PlanToInstance(cached->plan, tmpl);
+    result.phys = cache::PhysToInstance(cached->phys, tmpl);
+  } else {
+    // Shape-aware static check: a provably-empty BGP is answered with zero
+    // rows right here, skipping optimize + execute; a satisfiable one may
+    // still contribute inferred class anchors to the estimator.
+    analysis::ShapeCheckResult check;
+    bool lint_errors = false;
+    if (state_->options.static_check) {
+      check = Checker().Check(query, bgp);
+      if (trace != nullptr) {
+        trace->static_verdict = analysis::SatisfiabilityName(check.verdict);
+        trace->AddPhase("static-check", phase.ElapsedMs());
+        phase.Reset();
+      }
+      if (log.active() &&
+          (check.provably_empty() || !check.inferred.empty())) {
+        log.Emit(obs::Event("query.static")
+                     .Str("verdict",
+                          analysis::SatisfiabilityName(check.verdict))
+                     .Str("rule", check.rule)
+                     .Uint("findings", check.diagnostics.size())
+                     .Uint("inferred", check.inferred.size()));
+      }
+      if (check.provably_empty()) {
+        // Degenerate queries (unbound projection / FILTER / ORDER BY
+        // variables) must keep failing exactly as the executor would fail
+        // them — only clean queries take the short-circuit.
+        analysis::Diagnostics full_lint =
+            analysis::QueryLint(state_->gs, state_->graph.dict())
+                .Lint(query, bgp);
+        lint_errors = analysis::HasErrors(full_lint);
+        if (!lint_errors) {
+          if (cache_eligible) {
+            // Repeated provably-empty templates short-circuit straight
+            // from the cache, skipping even the checker.
+            auto entry = std::make_shared<cache::CachedPlan>();
+            entry->template_hash = tmpl.hash;
+            entry->short_id = tmpl.ShortId();
+            entry->num_patterns = static_cast<uint32_t>(bgp.patterns.size());
+            entry->checked = true;
+            entry->verdict = check.verdict;
+            entry->rule = check.rule;
+            entry->feedback_version = pcache->feedback().Version(tmpl.hash);
+            pcache->Put(tmpl.key, std::move(entry));
+          }
+          return finish_empty();
+        }
+      }
+      if (state_->options.infer_constraints && !check.inferred.empty()) {
+        inferred_anchors = check.InferredAnchors(state_->gs);
+      }
+    }
+
+    // Feedback-learned correction factors for this template, mapped into
+    // instance pattern numbering. The feedback version is read before the
+    // factors so a concurrent publication can only make the entry look
+    // stale (forcing a harmless re-plan), never fresh.
+    std::vector<double> corrections_canon;
+    std::vector<double> corrections_instance;
+    uint64_t feedback_version = 0;
+    if (cache_eligible) {
+      feedback_version = pcache->feedback().Version(tmpl.hash);
+      corrections_canon =
+          pcache->feedback().Factors(tmpl.hash, bgp.patterns.size());
+      bool any = false;
+      for (double f : corrections_canon) any = any || f != 1.0;
+      if (any) {
+        corrections_instance.resize(bgp.patterns.size(), 1.0);
+        for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+          corrections_instance[i] = corrections_canon[tmpl.instance_to_canon[i]];
+        }
+      } else {
+        corrections_canon.clear();
+      }
+    }
+
+    ASSIGN_OR_RETURN(
+        result.plan,
+        PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr,
+                  &inferred_anchors,
+                  corrections_instance.empty() ? nullptr
+                                               : &corrections_instance));
+    ASSIGN_OR_RETURN(result.phys, PlanPhysicalFor(bgp, result.plan));
+
+    if (cache_eligible) {
+      auto entry = std::make_shared<cache::CachedPlan>();
+      entry->template_hash = tmpl.hash;
+      entry->short_id = tmpl.ShortId();
+      entry->num_patterns = static_cast<uint32_t>(bgp.patterns.size());
+      entry->checked = state_->options.static_check;
+      entry->verdict = check.verdict;
+      entry->rule = check.rule;
+      entry->lint_errors = lint_errors;
+      if (state_->options.infer_constraints) {
+        for (const auto& [var, cls] : inferred_anchors) {
+          entry->inferred.emplace_back(tmpl.var_instance_to_canon[var], cls);
+        }
+      }
+      // The physical plan is cached before any ASK/LIMIT pipelining
+      // downgrade, which is applied per instance below.
+      entry->plan = cache::PlanToCanonical(result.plan, tmpl);
+      entry->phys = cache::PhysToCanonical(result.phys, tmpl);
+      entry->corrections = std::move(corrections_canon);
+      entry->feedback_version = feedback_version;
+      pcache->Put(tmpl.key, std::move(entry));
     }
   }
 
-  ASSIGN_OR_RETURN(result.plan,
-                   PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr,
-                             &inferred_anchors));
   exec::ExecOptions eopts = state_->options.exec;
   // Physical operator selection rides inside the "plan" phase. ASK and
   // LIMIT queries stay on the streaming depth-first executor (early
   // termination beats materializing), recorded as a per-step downgrade.
-  ASSIGN_OR_RETURN(result.phys, PlanPhysicalFor(bgp, result.plan));
   const bool pipelined =
       query.is_ask || query.limit.has_value() || eopts.limit > 0;
   if (pipelined && result.phys.Materializes()) {
@@ -385,6 +591,9 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     trace->optimizer = result.plan.provider;
     trace->query_shape = sparql::QueryShapeName(result.shape);
     trace->est_total_cost = result.plan.total_cost;
+    for (double f : result.plan.correction_factors) {
+      if (f != 1.0) trace->est_corrected = true;
+    }
     eopts.trace = &trace->exec;
   }
   if (log.active()) {
@@ -428,6 +637,16 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                    !trace->exec.step_rows_produced.empty();
       FillStepTraces(query, bgp, result.plan, &result.phys, details,
                      trace->exec.step_rows_produced, trace, exact);
+      // Close the feedback loop: exact per-step truths become learned
+      // adjustment factors for this template. A publication bumps the
+      // template's feedback version, so its cached plan re-plans (under
+      // the corrected estimates) on the next lookup.
+      if (exact && cache_eligible && state_->estimator != nullptr) {
+        std::vector<cache::FeedbackStore::Sample> samples =
+            FeedbackSamples(tmpl, result.plan,
+                            trace->exec.step_rows_produced);
+        if (!samples.empty()) pcache->RecordFeedback(tmpl.hash, samples);
+      }
     }
     if (log.active()) {
       log.Emit(obs::Event("query.finish")
@@ -592,11 +811,56 @@ Result<std::string> QueryEngine::Explain(std::string_view sparql) const {
       inferred_anchors = check.InferredAnchors(state_->gs);
     }
   }
-  ASSIGN_OR_RETURN(opt::Plan plan, PlanQuery(bgp, nullptr, &inferred_anchors));
+  // With the plan cache enabled, EXPLAIN reports the query's template,
+  // whether it is currently cached, and any feedback corrections in force
+  // — and plans under those corrections, so the output matches what
+  // Execute would run.
+  cache::PlanCache* pcache = state_->plan_cache.get();
+  cache::CanonicalTemplate tmpl;
+  std::shared_ptr<const cache::CachedPlan> centry;
+  std::vector<double> corrections;
+  if (pcache != nullptr) {
+    tmpl = cache::CanonicalizeTemplate(query, bgp, state_->gs.rdf_type_id);
+    if (tmpl.cacheable) {
+      centry = pcache->Peek(tmpl.key);
+      std::vector<double> canon =
+          pcache->feedback().Factors(tmpl.hash, bgp.patterns.size());
+      bool any = false;
+      for (double f : canon) any = any || f != 1.0;
+      if (any) {
+        corrections.resize(bgp.patterns.size(), 1.0);
+        for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+          corrections[i] = canon[tmpl.instance_to_canon[i]];
+        }
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(opt::Plan plan,
+                   PlanQuery(bgp, nullptr, &inferred_anchors,
+                             corrections.empty() ? nullptr : &corrections));
   ASSIGN_OR_RETURN(phys::PhysicalPlan pplan, PlanPhysicalFor(bgp, plan));
 
   std::string out = "plan (" + plan.provider + " optimizer, query shape: " +
                     sparql::QueryShapeName(sparql::ClassifyShape(bgp)) + ")\n";
+  if (pcache != nullptr) {
+    if (!tmpl.cacheable) {
+      out += "plan cache: bypass (" + tmpl.bypass_reason + ")\n";
+    } else if (centry != nullptr) {
+      out += "plan: cached (" + centry->short_id + ")\n";
+    } else {
+      out += "plan: not cached (template " + tmpl.ShortId() + ")\n";
+    }
+  }
+  if (!corrections.empty()) {
+    out += "est: corrected (feedback factors:";
+    char buf[48];
+    for (size_t i = 0; i < corrections.size(); ++i) {
+      if (corrections[i] == 1.0) continue;
+      std::snprintf(buf, sizeof(buf), " tp%zu x%.3g", i, corrections[i]);
+      out += buf;
+    }
+    out += ")\n";
+  }
   if (!pplan.steps.empty()) {
     out += "join mode: " + std::string(phys::JoinModeName(pplan.mode)) +
            " -> " + pplan.Summary() + "\n";
@@ -688,8 +952,30 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
     phase.Reset();
   }
 
+  // Apply any feedback corrections in force for this template so the
+  // profiled plan matches what Execute would run (no cache lookup/insert:
+  // the profiling run always plans fresh).
+  std::vector<double> corrections;
+  if (state_->plan_cache != nullptr) {
+    cache::CanonicalTemplate tmpl =
+        cache::CanonicalizeTemplate(query, bgp, state_->gs.rdf_type_id);
+    if (tmpl.cacheable) {
+      std::vector<double> canon = state_->plan_cache->feedback().Factors(
+          tmpl.hash, bgp.patterns.size());
+      bool any = false;
+      for (double f : canon) any = any || f != 1.0;
+      if (any) {
+        corrections.resize(bgp.patterns.size(), 1.0);
+        for (size_t i = 0; i < bgp.patterns.size(); ++i) {
+          corrections[i] = canon[tmpl.instance_to_canon[i]];
+        }
+        trace.est_corrected = true;
+      }
+    }
+  }
   ASSIGN_OR_RETURN(opt::Plan plan,
-                   PlanQuery(bgp, &trace.planner, &inferred_anchors));
+                   PlanQuery(bgp, &trace.planner, &inferred_anchors,
+                             corrections.empty() ? nullptr : &corrections));
   ASSIGN_OR_RETURN(phys::PhysicalPlan pplan, PlanPhysicalFor(bgp, plan));
   // The profiling run is full (no early termination), but an options-level
   // LIMIT still needs the streaming executor's pushdown.

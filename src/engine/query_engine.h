@@ -11,6 +11,7 @@
 
 #include "analysis/diagnostics.h"
 #include "analysis/shape_check.h"
+#include "cache/plan_cache.h"
 #include "card/estimator.h"
 #include "exec/select_executor.h"
 #include "obs/accuracy_ledger.h"
@@ -61,6 +62,17 @@ struct EngineOptions {
   /// queries always run on the streaming INLJ executor (early termination
   /// beats materialization), with the downgrade recorded in the plan.
   phys::JoinMode join_mode = phys::JoinMode::kEnv;
+  /// Plan cache over canonicalized BGP templates (src/cache/): repeated
+  /// query templates skip static-check + optimize + physical planning, and
+  /// ledger-observed estimation errors feed back into future plans for the
+  /// same template. kEnv resolves SHAPESTATS_PLAN_CACHE at Open time
+  /// (unset / "0" / "off" = disabled, so default behavior is unchanged);
+  /// kOn / kOff force it regardless of the environment.
+  enum class PlanCacheMode : uint8_t { kEnv, kOn, kOff };
+  PlanCacheMode plan_cache = PlanCacheMode::kEnv;
+  /// Capacity and feedback-correction knobs for the plan cache (unused
+  /// when the cache is disabled).
+  cache::PlanCache::Options plan_cache_options;
 };
 
 const char* OptimizerName(EngineOptions::Optimizer opt);
@@ -190,6 +202,11 @@ class QueryEngine {
   const obs::AccuracyLedger& accuracy_ledger() const { return state_->ledger; }
   void ResetAccuracyLedger() const { state_->ledger.Reset(); }
 
+  /// The plan cache, or null when disabled (EngineOptions::plan_cache
+  /// resolved against SHAPESTATS_PLAN_CACHE at Open time). Internally
+  /// synchronized; safe to inspect concurrently with query execution.
+  cache::PlanCache* plan_cache() const { return state_->plan_cache.get(); }
+
  private:
   struct State {
     rdf::Graph graph;
@@ -200,16 +217,22 @@ class QueryEngine {
     // Mutated from const query paths; AccuracyLedger is internally
     // synchronized, and unique_ptr does not propagate const.
     obs::AccuracyLedger ledger;
+    // Null when the plan cache is disabled. Internally synchronized.
+    std::unique_ptr<cache::PlanCache> plan_cache;
   };
 
   QueryEngine() = default;
 
   /// `inferred` optionally carries the static checker's proven class
   /// anchors, merged into the estimator's rdf:type anchors for this query.
+  /// `corrections` (per instance pattern, parallel to bgp.patterns)
+  /// optionally scales the estimator's cardinalities by feedback-learned
+  /// factors (card::CorrectedProvider); the factors are stamped onto the
+  /// returned plan's correction_factors.
   Result<opt::Plan> PlanQuery(
       const sparql::EncodedBgp& bgp, obs::PlannerTrace* trace = nullptr,
-      const std::unordered_map<sparql::VarId, rdf::TermId>* inferred =
-          nullptr) const;
+      const std::unordered_map<sparql::VarId, rdf::TermId>* inferred = nullptr,
+      const std::vector<double>* corrections = nullptr) const;
 
   /// Annotates `plan` with physical operators (EngineOptions::join_mode)
   /// and, when verify_plans is set, validates the result against the

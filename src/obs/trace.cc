@@ -53,6 +53,11 @@ std::string QueryTrace::ToJson() const {
   if (!static_verdict.empty()) {
     out += ",\"static_verdict\":\"" + JsonEscape(static_verdict) + "\"";
   }
+  if (plan_cached) {
+    out += ",\"plan_cached\":true,\"cache_template\":\"" +
+           JsonEscape(cache_template) + "\"";
+  }
+  if (est_corrected) out += ",\"est_corrected\":true";
   out += ",\"phases\":[";
   for (size_t i = 0; i < phases.size(); ++i) {
     if (i) out += ",";
@@ -111,6 +116,12 @@ std::string QueryTrace::ToTable() const {
     out += ", static verdict: " + static_verdict;
   }
   out += ")\n";
+  if (plan_cached) {
+    out += "plan: cached (" + cache_template + ")\n";
+  }
+  if (est_corrected) {
+    out += "est: corrected (feedback-learned adjustment factors applied)\n";
+  }
 
   if (!steps.empty()) {
     TablePrinter printer({"step", "op", "triple pattern", "stats", "est card",

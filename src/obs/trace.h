@@ -75,6 +75,15 @@ struct QueryTrace {
   /// empty when the check did not run. A short-circuited query has no
   /// plan/execute phases — the verdict explains why.
   std::string static_verdict;
+  /// True when the plan (and verdict) came from the engine's plan cache
+  /// instead of being computed; `cache_template` then names the template
+  /// ("t:<hash>"). Rendered as "plan: cached" only when set, so traces of
+  /// cache-less engines are unchanged.
+  bool plan_cached = false;
+  std::string cache_template;
+  /// True when feedback-learned correction factors scaled the estimates
+  /// that produced the plan (rendered as "est: corrected").
+  bool est_corrected = false;
   std::vector<PhaseSpan> phases;
   PlannerTrace planner;
   ExecTrace exec;

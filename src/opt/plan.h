@@ -32,6 +32,12 @@ struct Plan {
   /// Label of the statistics provider that produced the plan.
   std::string provider;
 
+  /// Feedback-learned adjustment factors (per pattern, parallel to
+  /// tp_estimates) that were in force when this plan was built; empty or
+  /// all-1.0 when estimation ran uncorrected. Stamped by the engine's plan
+  /// cache, surfaced by EXPLAIN as "est: corrected".
+  std::vector<double> correction_factors;
+
   /// True if some step was a Cartesian product.
   bool has_cartesian = false;
 };

@@ -1,5 +1,6 @@
 #include "phys/planner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -168,6 +169,21 @@ PhysicalPlan PlanPhysical(const sparql::EncodedBgp& bgp, const opt::Plan& plan,
               st.build_right = r <= l;
             }
             st.rationale = costs + " -> " + OpName(st.op);
+            // Sort-order-aware tie-break: a presorted merge within epsilon
+            // of the winner takes the step (see PlannerOptions).
+            const double best =
+                std::min(cost_inlj, std::min(cost_merge, cost_hash));
+            if (st.op != OpKind::kMerge && presorted &&
+                cost_merge <= best * (1 + options.tie_break_epsilon)) {
+              const char* beaten = OpName(st.op);
+              st.op = OpKind::kMerge;
+              set_join(*mergeable);
+              st.build_right = false;
+              st.rationale = costs + " -> merge (tie-break: left presorted on "
+                                     "join key, merge within " +
+                             CompactDouble(options.tie_break_epsilon * 100) +
+                             "% of " + beaten + ")";
+            }
             break;
           }
         }

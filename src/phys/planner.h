@@ -25,6 +25,14 @@ struct PlannerOptions {
   /// Per-output-row cost of materializing + canonical-order restoration,
   /// charged to merge and hash (INLJ streams in canonical order for free).
   double materialize_factor = 0.5;
+  /// Sort-order-aware tie-breaking: when a merge join's left input is
+  /// already in join-key order (no sort needed) and its estimated cost is
+  /// within this relative margin of the cheapest operator, prefer the merge
+  /// — estimates that close are noise, and the presorted merge's cost is
+  /// mostly sequential reads while INLJ/hash costs hide probe/build
+  /// constants the model can only approximate. Clear-cut decisions
+  /// (gap above the margin) are never overridden. 0 disables.
+  double tie_break_epsilon = 0.05;
 };
 
 /// Chooses a physical operator for every step of `plan.order` against

@@ -234,8 +234,11 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  auto fail = [&failures](const std::string& msg) {
-    std::printf("FAIL  %s\n", msg.c_str());
+  std::string first_regressed;  // metric key of the first failure, for the summary
+  auto fail = [&failures, &first_regressed](const std::string& key,
+                                            const std::string& msg) {
+    std::printf("FAIL  %s: %s\n", key.c_str(), msg.c_str());
+    if (first_regressed.empty()) first_regressed = key;
     ++failures;
   };
 
@@ -246,14 +249,14 @@ int main(int argc, char** argv) {
     if (!is_digest && !is_counter && !is_timing) continue;  // meta / pool
     auto it = cand.find(key);
     if (it == cand.end()) {
-      fail(key + ": missing from candidate");
+      fail(key, "missing from candidate");
       continue;
     }
     const std::string& cval = it->second;
     if (is_digest) {
       if (bval != cval) {
-        fail(key + ": digest mismatch (baseline " + bval + ", candidate " +
-             cval + ")");
+        fail(key, "digest mismatch (baseline " + bval + ", candidate " + cval +
+                      ")");
       } else {
         std::printf("ok    %s = %s\n", key.c_str(), bval.c_str());
       }
@@ -262,8 +265,8 @@ int main(int argc, char** argv) {
       double c = std::atof(cval.c_str());
       double tol = counter_rel_tol * std::max({std::fabs(b), std::fabs(c), 1.0});
       if (std::fabs(b - c) > tol) {
-        fail(key + ": counter drifted (baseline " + bval + ", candidate " +
-             cval + ")");
+        fail(key, "counter drifted (baseline " + bval + ", candidate " + cval +
+                      ")");
       } else {
         std::printf("ok    %s = %s\n", key.c_str(), cval.c_str());
       }
@@ -274,8 +277,8 @@ int main(int argc, char** argv) {
       if (c > limit) {
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.1f", limit);
-        fail(key + ": timing regressed (baseline " + bval + " ms, candidate " +
-             cval + " ms, limit " + buf + " ms)");
+        fail(key, "timing regressed (baseline " + bval + " ms, candidate " +
+                      cval + " ms, limit " + buf + " ms)");
       } else {
         std::printf("ok    %s = %s ms (baseline %s ms)\n", key.c_str(),
                     cval.c_str(), bval.c_str());
@@ -291,8 +294,15 @@ int main(int argc, char** argv) {
   }
 
   if (failures > 0) {
-    std::printf("bench_diff: %d regression(s) against %s\n", failures,
-                baseline_path);
+    // Name the first regressed metric in the one-line summary so a CI log
+    // tail (or a human skimming it) sees the culprit without scrolling.
+    if (failures == 1) {
+      std::printf("bench_diff: 1 regression (%s) against %s\n",
+                  first_regressed.c_str(), baseline_path);
+    } else {
+      std::printf("bench_diff: %d regressions (first: %s) against %s\n",
+                  failures, first_regressed.c_str(), baseline_path);
+    }
     return 1;
   }
   std::printf("bench_diff: no regressions against %s\n", baseline_path);
