@@ -17,7 +17,9 @@
 //                         estimates (default: SHAPESTATS_PLAN_CACHE)
 //     --universities N    size of the generated demo dataset (default 2)
 //
-// Routes: /sparql /explain /metrics /healthz /accuracy (see DESIGN.md §8).
+// Routes: /sparql /explain /metrics /healthz /accuracy (see DESIGN.md §8),
+// plus the introspection plane /debug/queries, /debug/queries/<id>/cancel,
+// /debug/flightrecorder, /debug/build (see DESIGN.md §12).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -125,7 +127,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("serving on http://%s:%u  (/sparql /explain /metrics /healthz "
-              "/accuracy)\n", opts.http.host.c_str(), srv.port());
+              "/accuracy /debug/queries /debug/flightrecorder /debug/build)\n",
+              opts.http.host.c_str(), srv.port());
+  std::printf("introspection: registry %s, flight recorder %s\n",
+              eng.query_registry() != nullptr ? "on" : "off",
+              eng.flight_recorder() != nullptr ? "armed" : "off");
   std::printf("admission: max-inflight %llu, queue %llu, slow-query %s >= %.0f ms\n",
               static_cast<unsigned long long>(opts.admission.max_inflight),
               static_cast<unsigned long long>(opts.admission.queue_limit),

@@ -27,6 +27,12 @@
 //                        (default 20) as JSONL
 //   .accuracy            q-error percentiles of every traced query so far,
 //                        keyed by optimizer / shape / stats source / join
+//   .running             live queries from the introspection registry plus
+//                        the most recently completed ones (id, phase, step
+//                        progress, rows, resources)
+//   .top [n]             hottest plan-cache templates by cumulative
+//                        execution time (registry aggregates joined with
+//                        plan-cache / feedback state; default 10)
 //   .trace <file>        write the last executed query's trace JSON to file
 //   .quit                exit
 //   anything else        executed as a SPARQL query (may span lines;
@@ -148,8 +154,8 @@ int main(int argc, char** argv) {
       std::printf(
           ".stats | .shapes [class] | .explain <query> | .analyze <query> | "
           ".lint <query> | .check <query> | .audit | .cache | "
-          ".metrics [reset] | .events [n] | .accuracy | .trace <file> | "
-          ".quit\n");
+          ".metrics [reset] | .events [n] | .accuracy | .running | "
+          ".top [n] | .trace <file> | .quit\n");
     } else if (trimmed == ".stats") {
       PrintStats(eng);
     } else if (trimmed == ".audit") {
@@ -243,6 +249,92 @@ int main(int argc, char** argv) {
       std::printf("metrics reset\n");
     } else if (trimmed == ".accuracy") {
       std::fputs(eng.accuracy_ledger().ToTable().c_str(), stdout);
+    } else if (trimmed == ".running") {
+      obs::QueryRegistry* reg = eng.query_registry();
+      if (reg == nullptr) {
+        std::printf("query registry disabled (SHAPESTATS_REGISTRY=0)\n");
+      } else {
+        std::vector<obs::QueryRecord> live = reg->Inflight();
+        if (live.empty()) {
+          std::printf("no queries in flight\n");
+        }
+        for (const obs::QueryRecord& q : live) {
+          std::string text = q.query.substr(0, 60);
+          if (q.query.size() > 60) text += "...";
+          std::printf("#%llu [%s] step %llu/%llu  rows %s  %.1f ms  %s\n",
+                      static_cast<unsigned long long>(q.id), q.phase.c_str(),
+                      static_cast<unsigned long long>(q.steps_completed),
+                      static_cast<unsigned long long>(q.steps_total),
+                      WithCommas(q.rows_produced).c_str(), q.elapsed_ms,
+                      text.c_str());
+          std::printf("    %s\n", q.resources.ToText().c_str());
+        }
+        std::vector<obs::QueryRecord> done = reg->Completed(5);
+        if (!done.empty()) std::printf("recently completed:\n");
+        for (const obs::QueryRecord& q : done) {
+          std::string text = q.query.substr(0, 60);
+          if (q.query.size() > 60) text += "...";
+          std::printf("#%llu [%s] %s results  %.1f ms  %s\n",
+                      static_cast<unsigned long long>(q.id), q.outcome.c_str(),
+                      WithCommas(q.num_results).c_str(), q.elapsed_ms,
+                      text.c_str());
+        }
+        std::printf("%llu registered, %llu cancel requests\n",
+                    static_cast<unsigned long long>(reg->registered_total()),
+                    static_cast<unsigned long long>(reg->cancelled_total()));
+      }
+    } else if (trimmed == ".top" || StartsWith(trimmed, ".top ")) {
+      size_t n = 10;
+      std::string arg(Trim(trimmed.substr(4)));
+      if (!arg.empty()) {
+        char* end = nullptr;
+        unsigned long parsed = std::strtoul(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || parsed == 0) {
+          std::printf("usage: .top [n]\n");
+          std::printf("sparql> ");
+          std::fflush(stdout);
+          continue;
+        }
+        n = parsed;
+      }
+      obs::QueryRegistry* reg = eng.query_registry();
+      if (reg == nullptr) {
+        std::printf("query registry disabled (SHAPESTATS_REGISTRY=0)\n");
+      } else {
+        cache::PlanCache* pc = eng.plan_cache();
+        if (pc != nullptr) {
+          cache::PlanCache::StatsSnapshot s = pc->stats();
+          std::printf("plan cache: %zu/%zu entries, hit-rate %.1f%% "
+                      "(%llu hits / %llu misses)\n",
+                      s.size, s.capacity, 100.0 * s.hit_rate,
+                      static_cast<unsigned long long>(s.hits),
+                      static_cast<unsigned long long>(s.misses));
+        }
+        std::vector<obs::TemplateStats> tops = reg->TopTemplates(n);
+        if (tops.empty()) {
+          std::printf("no completed queries yet\n");
+        } else {
+          std::printf("%-22s %8s %12s %10s %12s %7s\n", "template", "execs",
+                      "total ms", "avg ms", "results", "corr-v");
+          for (const obs::TemplateStats& t : tops) {
+            // Join with the feedback store: "t:<hex>" parses back to the
+            // template hash whose correction version counts publications.
+            uint64_t fb_version = 0;
+            if (pc != nullptr && t.cache_template.rfind("t:", 0) == 0) {
+              uint64_t hash =
+                  std::strtoull(t.cache_template.c_str() + 2, nullptr, 16);
+              fb_version = pc->feedback().Version(hash);
+            }
+            std::printf("%-22s %8llu %12.1f %10.2f %12s %7llu\n",
+                        t.cache_template.c_str(),
+                        static_cast<unsigned long long>(t.executions),
+                        t.total_ms,
+                        t.executions > 0 ? t.total_ms / t.executions : 0.0,
+                        WithCommas(t.num_results).c_str(),
+                        static_cast<unsigned long long>(fb_version));
+          }
+        }
+      }
     } else if (StartsWith(trimmed, ".trace")) {
       std::string path(Trim(trimmed.substr(6)));
       if (path.empty()) {

@@ -12,6 +12,7 @@
 #include "analysis/query_lint.h"
 #include "card/corrected.h"
 #include "exec/executor.h"
+#include "obs/build_info.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -40,6 +41,90 @@ bool PlanCacheEnabled(EngineOptions::PlanCacheMode mode) {
   if (env == nullptr || *env == '\0') return false;
   const std::string_view v(env);
   return v != "0" && v != "off" && v != "false" && v != "no";
+}
+
+/// Resolves EngineOptions::registry against SHAPESTATS_REGISTRY.
+bool RegistryEnabled(EngineOptions::RegistryMode mode) {
+  switch (mode) {
+    case EngineOptions::RegistryMode::kOn: return true;
+    case EngineOptions::RegistryMode::kOff: return false;
+    case EngineOptions::RegistryMode::kEnv: break;
+  }
+  return obs::QueryRegistry::EnabledByEnv();
+}
+
+std::string FmtNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Assembles a self-contained flight-recorder bundle for one execution:
+/// enough to diagnose the anomaly offline — query text, caller identity,
+/// the logical and physical plan with per-step rationale, the full trace
+/// (per-step est/true cardinalities when the run was traced), the final
+/// resource snapshot, plan-cache and feedback state, and the build info.
+std::string BuildFlightBundle(
+    const char* trigger, std::string_view sparql, const char* outcome,
+    const opt::Plan& plan, const phys::PhysicalPlan& pplan, double total_ms,
+    uint64_t num_results, const obs::QueryTrace* trace,
+    const obs::ResourceSnapshot* resources, const std::string& cache_template,
+    const cache::PlanCache* pcache, uint64_t request_id, uint64_t batch_id,
+    uint32_t slot) {
+  std::string out = "{\"trigger\":\"" + std::string(trigger) + "\"";
+  out += ",\"outcome\":\"" + std::string(outcome) + "\"";
+  if (request_id != 0) out += ",\"request_id\":" + std::to_string(request_id);
+  if (batch_id != 0) {
+    out += ",\"batch_id\":" + std::to_string(batch_id) +
+           ",\"slot\":" + std::to_string(slot);
+  }
+  out += ",\"query\":\"" + obs::JsonEscape(std::string(sparql)) + "\"";
+  out += ",\"total_ms\":" + FmtNum(total_ms);
+  out += ",\"num_results\":" + std::to_string(num_results);
+  out += ",\"plan\":{\"provider\":\"" + obs::JsonEscape(plan.provider) +
+         "\",\"est_cost\":" + FmtNum(plan.total_cost) + ",\"order\":[";
+  for (size_t i = 0; i < plan.order.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(plan.order[i]);
+  }
+  out += "]}";
+  if (!pplan.steps.empty()) {
+    out += ",\"phys\":{\"summary\":\"" + obs::JsonEscape(pplan.Summary()) +
+           "\",\"steps\":[";
+    for (size_t i = 0; i < pplan.steps.size(); ++i) {
+      const phys::PhysicalStep& ps = pplan.steps[i];
+      if (i) out += ",";
+      out += "{\"op\":\"" + std::string(phys::OpName(ps.op)) +
+             "\",\"est_build\":" + FmtNum(ps.est_left) +
+             ",\"est_probe\":" + FmtNum(ps.est_right) + ",\"rationale\":\"" +
+             obs::JsonEscape(ps.rationale) + "\"}";
+    }
+    out += "]}";
+  }
+  if (trace != nullptr) out += ",\"trace\":" + trace->ToJson();
+  if (resources != nullptr) out += ",\"resources\":" + resources->ToJson();
+  out += ",\"cache\":{";
+  out += "\"template\":\"" + obs::JsonEscape(cache_template) + "\"";
+  if (pcache != nullptr) {
+    const cache::PlanCache::StatsSnapshot cs = pcache->stats();
+    out += ",\"hits\":" + std::to_string(cs.hits) +
+           ",\"misses\":" + std::to_string(cs.misses) +
+           ",\"size\":" + std::to_string(cs.size) +
+           ",\"corrections\":" + std::to_string(cs.corrections) +
+           ",\"hit_rate\":" + FmtNum(cs.hit_rate);
+  }
+  if (!plan.correction_factors.empty()) {
+    out += ",\"correction_factors\":[";
+    for (size_t i = 0; i < plan.correction_factors.size(); ++i) {
+      if (i) out += ",";
+      out += FmtNum(plan.correction_factors[i]);
+    }
+    out += "]";
+  }
+  out += "}";
+  out += ",\"build\":" + obs::BuildInfoJson();
+  out += "}";
+  return out;
 }
 
 /// Per-step observed/estimated ratios attributed to the pattern each step
@@ -147,6 +232,12 @@ Result<QueryEngine> QueryEngine::Open(rdf::Graph graph, EngineOptions options) {
   if (PlanCacheEnabled(options.plan_cache)) {
     st.plan_cache =
         std::make_unique<cache::PlanCache>(options.plan_cache_options);
+  }
+  if (RegistryEnabled(options.registry)) {
+    st.registry = &obs::QueryRegistry::Global();
+  }
+  if (obs::FlightRecorder::Global().active()) {
+    st.flight = &obs::FlightRecorder::Global();
   }
   obs::PublishPoolMetrics(pool != nullptr ? *pool : util::ThreadPool::Shared());
   obs::EventLog& log = obs::EventLog::Global();
@@ -348,6 +439,12 @@ void QueryEngine::FillStepTraces(const sparql::ParsedQuery& query,
 
 Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                                          obs::QueryTrace* trace) const {
+  return ExecuteInternal(sparql, trace, nullptr);
+}
+
+Result<QueryResult> QueryEngine::ExecuteInternal(std::string_view sparql,
+                                                 obs::QueryTrace* trace,
+                                                 const ExecContext* ctx) const {
   static obs::Counter* queries =
       obs::MetricsRegistry::Global().GetCounter("engine.queries");
   static obs::Histogram* query_ms =
@@ -356,6 +453,25 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
   obs::TraceSpan span("engine", "query");
   Timer timer;
   Timer phase;
+  // Introspection registration: the live record (with its per-query
+  // ResourceTracker) exists from here until a finish path completes it;
+  // early error returns finalize it with outcome "error" via RAII. A
+  // traced execution on a registry-less engine still gets a local tracker
+  // so EXPLAIN ANALYZE-style callers see resource totals.
+  obs::QueryRegistry::Registration reg;
+  std::optional<obs::ResourceTracker> local_tracker;
+  obs::ResourceTracker* tracker = nullptr;
+  if (state_->registry != nullptr) {
+    reg = state_->registry->Register(std::string(sparql),
+                                     ctx != nullptr ? ctx->request_id : 0,
+                                     ctx != nullptr ? ctx->batch_id : 0,
+                                     ctx != nullptr ? ctx->slot : 0);
+    reg.SetPhase("parse");
+    tracker = reg.tracker();
+  } else if (trace != nullptr) {
+    local_tracker.emplace();
+    tracker = &*local_tracker;
+  }
   ASSIGN_OR_RETURN(sparql::ParsedQuery query, sparql::ParseQuery(sparql));
   if (trace != nullptr) {
     trace->query = std::string(sparql);
@@ -367,6 +483,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     trace->AddPhase("encode", phase.ElapsedMs());
     phase.Reset();
   }
+  reg.SetPhase("analyze");
   QueryResult result;
   result.shape = sparql::ClassifyShape(bgp);
   if (trace != nullptr) {
@@ -401,6 +518,14 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     trace->plan_cached = true;
     trace->cache_template = cached->short_id;
   }
+  // Template identity for the registry record and flight bundles.
+  std::string template_id;
+  if (cached != nullptr) {
+    template_id = cached->short_id;
+  } else if (cache_eligible) {
+    template_id = tmpl.ShortId();
+  }
+  if (!template_id.empty()) reg.SetTemplate(template_id);
 
   // Answers a provably-empty query with zero rows (verdict from the
   // checker or the cache), skipping optimize + execute.
@@ -425,6 +550,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     queries->Add();
     query_ms->Observe(result.total_ms);
     short_circuits->Add();
+    reg.Complete("static-empty", 0);
     if (trace != nullptr) {
       trace->optimizer = result.plan.provider;
       trace->query_shape = sparql::QueryShapeName(result.shape);
@@ -475,6 +601,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     analysis::ShapeCheckResult check;
     bool lint_errors = false;
     if (state_->options.static_check) {
+      reg.SetPhase("static-check");
       check = Checker().Check(query, bgp);
       if (trace != nullptr) {
         trace->static_verdict = analysis::SatisfiabilityName(check.verdict);
@@ -543,6 +670,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
       }
     }
 
+    reg.SetPhase("plan");
     ASSIGN_OR_RETURN(
         result.plan,
         PlanQuery(bgp, trace != nullptr ? &trace->planner : nullptr,
@@ -611,6 +739,9 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
   }
   span.Arg("optimizer", result.plan.provider);
   span.Arg("shape", sparql::QueryShapeName(result.shape));
+  reg.SetStepsTotal(result.plan.order.size());
+  reg.SetPhase("execute");
+  eopts.resources = tracker;
 
   // Per-pattern estimate provenance, needed to annotate step traces and
   // feed the accuracy ledger. Only computed for traced executions.
@@ -621,15 +752,46 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
     phase.Reset();
   }
 
-  auto finish = [&](uint64_t num_results, bool timed_out) {
+  auto finish = [&](uint64_t num_results, bool timed_out, bool cancelled) {
     result.total_ms = timer.ElapsedMs();
     queries->Add();
     query_ms->Observe(result.total_ms);
+    // Final resource snapshot: per-query distribution histograms for the
+    // Prometheus plane, the trace's resources block, and the registry's
+    // completed record all read the same numbers.
+    obs::ResourceSnapshot snap;
+    if (tracker != nullptr) {
+      snap = tracker->Snapshot();
+      static obs::Histogram* h_probes =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "exec.query_index_probes");
+      static obs::Histogram* h_scanned =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "exec.query_rows_scanned");
+      static obs::Histogram* h_materialized =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "exec.query_rows_materialized");
+      static obs::Histogram* h_peak =
+          obs::MetricsRegistry::Global().GetHistogram("exec.query_peak_bytes");
+      static obs::Histogram* h_build =
+          obs::MetricsRegistry::Global().GetHistogram(
+              "exec.query_build_bytes");
+      h_probes->Observe(static_cast<double>(snap.index_probes));
+      h_scanned->Observe(static_cast<double>(snap.rows_scanned));
+      h_materialized->Observe(static_cast<double>(snap.rows_materialized));
+      h_peak->Observe(static_cast<double>(snap.peak_bytes));
+      h_build->Observe(static_cast<double>(snap.build_bytes));
+    }
     if (trace != nullptr) {
       trace->AddPhase("execute", phase.ElapsedMs());
       trace->num_results = num_results;
       trace->timed_out = timed_out;
+      trace->cancelled = cancelled;
       trace->total_ms = result.total_ms;
+      if (tracker != nullptr) {
+        trace->resources = snap;
+        trace->has_resources = true;
+      }
       // ASK probes (LIMIT 1) and explicit LIMIT / timeout runs truncate
       // execution, so their per-step counts are not true cardinalities —
       // they get step annotations but stay out of the accuracy ledger.
@@ -646,6 +808,39 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
             FeedbackSamples(tmpl, result.plan,
                             trace->exec.step_rows_produced);
         if (!samples.empty()) pcache->RecordFeedback(tmpl.hash, samples);
+      }
+    }
+    const char* outcome =
+        cancelled ? "cancelled" : (timed_out ? "timeout" : "ok");
+    reg.Complete(outcome, num_results);
+    // Flight-recorder anomaly triggers: cancellation, latency over the
+    // slow threshold, or a per-step q-error over the threshold (traced
+    // runs only — untracked runs have no step annotations to judge).
+    obs::FlightRecorder* fr = state_->flight;
+    if (fr != nullptr) {
+      const char* trigger = nullptr;
+      if (cancelled) {
+        trigger = "cancelled";
+      } else if (fr->slow_ms() >= 0 && result.total_ms >= fr->slow_ms()) {
+        trigger = "slow";
+      } else if (fr->max_q_error() > 0 && trace != nullptr) {
+        for (const obs::StepTrace& s : trace->steps) {
+          if (!std::isnan(s.q_error) && s.q_error > fr->max_q_error()) {
+            trigger = "qerror";
+            break;
+          }
+        }
+      }
+      if (trigger != nullptr) {
+        fr->Record(trigger,
+                   BuildFlightBundle(
+                       trigger, sparql, outcome, result.plan, result.phys,
+                       result.total_ms, num_results, trace,
+                       tracker != nullptr ? &snap : nullptr, template_id,
+                       state_->plan_cache.get(),
+                       ctx != nullptr ? ctx->request_id : 0,
+                       ctx != nullptr ? ctx->batch_id : 0,
+                       ctx != nullptr ? ctx->slot : 0));
       }
     }
     if (log.active()) {
@@ -666,7 +861,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                      exec::ExecuteSelect(state_->graph, probe, bgp,
                                          result.plan.order, eopts));
     result.ask = !table.rows.empty();
-    finish(table.rows.size(), table.timed_out);
+    finish(table.rows.size(), table.timed_out, table.cancelled);
     return result;
   }
   if (query.count_aggregate) {
@@ -687,7 +882,7 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                                            result.plan.order, eopts));
     }
     result.count = table.bgp_matches;
-    finish(table.bgp_matches, table.timed_out);
+    finish(table.bgp_matches, table.timed_out, table.cancelled);
     return result;
   }
 
@@ -700,7 +895,8 @@ Result<QueryResult> QueryEngine::Execute(std::string_view sparql,
                      exec::ExecuteSelect(state_->graph, query, bgp,
                                          result.plan.order, eopts));
   }
-  finish(result.table.rows.size(), result.table.timed_out);
+  finish(result.table.rows.size(), result.table.timed_out,
+         result.table.cancelled);
   return result;
 }
 
@@ -748,7 +944,9 @@ BatchResult QueryEngine::ExecuteBatch(const std::vector<std::string>& queries,
   pool.ParallelFor(0, queries.size(), [&](size_t i) {
     obs::QueryTrace* trace =
         options.collect_traces ? &batch.traces[i] : nullptr;
-    batch.results[i] = Execute(queries[i], trace);
+    const ExecContext ctx{options.request_id, batch.batch_id,
+                          static_cast<uint32_t>(i)};
+    batch.results[i] = ExecuteInternal(queries[i], trace, &ctx);
     if (log.active()) {
       const Result<QueryResult>& r = batch.results[i];
       obs::Event ev("batch.query");
@@ -998,9 +1196,13 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   phase.Reset();
 
   // Execute on the profiling executor: true per-step cardinalities (the
-  // paper's TZ Card ground truth) plus probe/scan counters.
+  // paper's TZ Card ground truth) plus probe/scan counters. A local
+  // resource tracker feeds the trace's resources block (EXPLAIN ANALYZE
+  // always reports resource totals, registry or not).
+  obs::ResourceTracker analyze_tracker;
   exec::ExecOptions eopts = state_->options.exec;
   eopts.trace = &trace.exec;
+  eopts.resources = &analyze_tracker;
   exec::ExecResult run;
   if (pplan.Materializes()) {
     ASSIGN_OR_RETURN(
@@ -1012,11 +1214,16 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
   trace.AddPhase("execute", phase.ElapsedMs());
   trace.num_results = run.num_results;
   trace.timed_out = run.timed_out;
+  trace.cancelled = run.cancelled;
+  trace.resources = analyze_tracker.Snapshot();
+  trace.has_resources = true;
   FillStepTraces(query, bgp, plan, &pplan, details, run.step_cards, &trace,
                  /*record=*/!run.timed_out);
+  trace.total_ms = total.ElapsedMs();
 
   // Live soundness cross-check: a provably-empty verdict that observed any
-  // result is an analyzer bug (counted, never silently ignored).
+  // result is an analyzer bug (counted, never silently ignored — and
+  // captured as a flight-recorder bundle when the recorder is active).
   if (check.provably_empty() && run.num_results > 0) {
     static obs::Counter* violations =
         obs::MetricsRegistry::Global().GetCounter("static_check.violations");
@@ -1027,9 +1234,17 @@ Result<AnalyzeResult> QueryEngine::ExplainAnalyze(std::string_view sparql) const
                    .Str("rule", check.rule)
                    .Uint("results", run.num_results));
     }
+    if (state_->flight != nullptr) {
+      state_->flight->Record(
+          "static-violation",
+          BuildFlightBundle("static-violation", sparql, "ok", plan, pplan,
+                            trace.total_ms, run.num_results, &trace,
+                            &trace.resources, /*cache_template=*/"",
+                            state_->plan_cache.get(), /*request_id=*/0,
+                            /*batch_id=*/0, /*slot=*/0));
+    }
   }
 
-  trace.total_ms = total.ElapsedMs();
   analyzes->Add();
   out.text = trace.ToTable();
   // Lint and checker findings ride along so .analyze shows why a query was

@@ -15,6 +15,8 @@
 #include "card/estimator.h"
 #include "exec/select_executor.h"
 #include "obs/accuracy_ledger.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_registry.h"
 #include "obs/trace.h"
 #include "opt/plan.h"
 #include "phys/physical_plan.h"
@@ -73,6 +75,16 @@ struct EngineOptions {
   /// Capacity and feedback-correction knobs for the plan cache (unused
   /// when the cache is disabled).
   cache::PlanCache::Options plan_cache_options;
+  /// Live query registry (obs::QueryRegistry::Global()): every Execute /
+  /// ExecuteBatch slot registers a record with phase, step progress, and a
+  /// per-query ResourceTracker; /debug/queries and the shell's .running
+  /// render it, and Cancel(id) requests cooperative cancellation served on
+  /// the executors' next work tick. kEnv resolves SHAPESTATS_REGISTRY at
+  /// Open time (enabled unless "0"/"off"/"false"/"no"); kOn / kOff force
+  /// it. Disabled, queries carry no tracker and pay zero accounting cost
+  /// (untraced executions skip even the per-tick publication).
+  enum class RegistryMode : uint8_t { kEnv, kOn, kOff };
+  RegistryMode registry = RegistryMode::kEnv;
 };
 
 const char* OptimizerName(EngineOptions::Optimizer opt);
@@ -207,6 +219,15 @@ class QueryEngine {
   /// synchronized; safe to inspect concurrently with query execution.
   cache::PlanCache* plan_cache() const { return state_->plan_cache.get(); }
 
+  /// The live query registry this engine registers executions into, or
+  /// null when disabled (EngineOptions::registry resolved against
+  /// SHAPESTATS_REGISTRY at Open time). Internally synchronized.
+  obs::QueryRegistry* query_registry() const { return state_->registry; }
+
+  /// The process flight recorder when any anomaly trigger is configured
+  /// (SHAPESTATS_FLIGHT_DIR / _SLOW_MS / _QERROR), else null.
+  obs::FlightRecorder* flight_recorder() const { return state_->flight; }
+
  private:
   struct State {
     rdf::Graph graph;
@@ -219,9 +240,28 @@ class QueryEngine {
     obs::AccuracyLedger ledger;
     // Null when the plan cache is disabled. Internally synchronized.
     std::unique_ptr<cache::PlanCache> plan_cache;
+    // Introspection plane (resolved once at Open): the process query
+    // registry when enabled, and the process flight recorder when any
+    // anomaly trigger is configured. Both null otherwise.
+    obs::QueryRegistry* registry = nullptr;
+    obs::FlightRecorder* flight = nullptr;
+  };
+
+  /// Caller identity of one execution (serving-plane request id, engine
+  /// batch id, slot within the batch), stamped onto the registry record.
+  struct ExecContext {
+    uint64_t request_id = 0;
+    uint64_t batch_id = 0;
+    uint32_t slot = 0;
   };
 
   QueryEngine() = default;
+
+  /// Execute with caller identity for the registry record; Execute and
+  /// ExecuteBatch are thin wrappers.
+  Result<QueryResult> ExecuteInternal(std::string_view sparql,
+                                      obs::QueryTrace* trace,
+                                      const ExecContext* ctx) const;
 
   /// `inferred` optionally carries the static checker's proven class
   /// anchors, merged into the estimator's rdf:type anchors for this query.

@@ -33,6 +33,7 @@ class Evaluator {
         order_(order),
         options_(options),
         trace_(options.trace),
+        resources_(options.resources),
         bindings_(bgp.NumVars(), rdf::kInvalidTermId) {
     result_.step_cards.assign(order.size(), 0);
     if (trace_ != nullptr) {
@@ -60,6 +61,10 @@ class Evaluator {
       trace_->total_probes = probes_;
       trace_->total_rows_scanned = scanned_;
     }
+    if (resources_ != nullptr) {
+      resources_->Publish(probes_, scanned_, rows_produced_, 0,
+                          static_cast<uint32_t>(order_.size()));
+    }
     runs->Add();
     probes->Add(probes_);
     scanned->Add(scanned_);
@@ -80,14 +85,27 @@ class Evaluator {
     return std::nullopt;
   }
 
-  /// Amortized wall-clock check: one branch per call, a clock read every
-  /// kTimeoutCheckInterval work units. Work advances on probes and scans,
-  /// not produced rows, so zero-result nested loops still observe it.
-  bool TimedOut(const Timer& timer) {
-    if (options_.timeout_ms <= 0) return false;
+  /// Amortized wall-clock / cancellation check: one branch per call, a
+  /// clock read every kTimeoutCheckInterval work units. Work advances on
+  /// probes and scans, not produced rows, so zero-result nested loops still
+  /// observe it. The same tick publishes running totals to the resource
+  /// tracker and serves cooperative cancellation, keeping the accounting
+  /// overhead amortized to the tick.
+  bool TimedOut(const Timer& timer, size_t depth) {
+    if (options_.timeout_ms <= 0 && resources_ == nullptr) return false;
     if (++timeout_ticks_ < kTimeoutCheckInterval) return false;
     timeout_ticks_ = 0;
-    if (timer.ElapsedMs() > options_.timeout_ms) {
+    if (resources_ != nullptr) {
+      resources_->Publish(probes_, scanned_, rows_produced_, 0,
+                          static_cast<uint32_t>(depth));
+      if (resources_->cancel_requested()) {
+        resources_->NoteCancelObserved();
+        result_.timed_out = true;
+        result_.cancelled = true;
+        return true;
+      }
+    }
+    if (options_.timeout_ms > 0 && timer.ElapsedMs() > options_.timeout_ms) {
       result_.timed_out = true;
       return true;
     }
@@ -119,12 +137,12 @@ class Evaluator {
 
     ++probes_;
     if (trace_ != nullptr) ++trace_->step_probes[depth];
-    if (TimedOut(timer)) return;
+    if (TimedOut(timer, depth)) return;
 
     for (const rdf::Triple& t : graph_.Match(s, p, o)) {
       ++scanned_;
       if (trace_ != nullptr) ++trace_->step_rows_scanned[depth];
-      if (TimedOut(timer)) {
+      if (TimedOut(timer, depth)) {
         ClearVars(vs, vp, vo);
         return;
       }
@@ -167,6 +185,7 @@ class Evaluator {
   const std::vector<uint32_t>& order_;
   const ExecOptions& options_;
   obs::ExecTrace* trace_;
+  obs::ResourceTracker* resources_;
   std::vector<TermId> bindings_;
   uint64_t rows_produced_ = 0;
   uint64_t probes_ = 0;

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "rdf/graph.h"
 #include "sparql/encoded_bgp.h"
@@ -28,6 +29,12 @@ struct ExecOptions {
   /// Optional per-step probe/scan counters. When null (the default) the
   /// executor only maintains scalar totals for the global metrics registry.
   obs::ExecTrace* trace = nullptr;
+  /// Optional per-query resource accounting + cooperative cancellation.
+  /// The executor publishes its running totals here on the amortized work
+  /// tick (every kTimeoutCheckInterval probes/scans) and aborts — with
+  /// `cancelled` set — when the tracker's cancel flag is raised, so a
+  /// cancellation is served within one work tick.
+  obs::ResourceTracker* resources = nullptr;
 };
 
 struct ExecResult {
@@ -39,6 +46,9 @@ struct ExecResult {
   uint64_t TrueCost() const;
   double elapsed_ms = 0;
   bool timed_out = false;
+  /// True when the abort was a served ResourceTracker cancellation (a
+  /// cancelled run also sets timed_out: both truncate execution).
+  bool cancelled = false;
 };
 
 /// Executes `bgp` joining patterns in the given `order` (indices into

@@ -34,6 +34,7 @@ class SelectEvaluator {
         order_(order),
         options_(options),
         trace_(options.trace),
+        resources_(options.resources),
         bindings_(bgp.NumVars(), rdf::kInvalidTermId) {
     if (trace_ != nullptr) {
       trace_->step_probes.assign(order.size(), 0);
@@ -66,6 +67,10 @@ class SelectEvaluator {
       trace_->total_probes = probes_;
       trace_->total_rows_scanned = scanned_;
     }
+    if (resources_ != nullptr) {
+      resources_->Publish(probes_, scanned_, rows_produced_, 0,
+                          static_cast<uint32_t>(order_.size()));
+    }
     runs->Add();
     probe_counter->Add(probes_);
     scan_counter->Add(scanned_);
@@ -90,12 +95,23 @@ class SelectEvaluator {
     return std::nullopt;
   }
 
-  // Amortized wall-clock check on probe + scan work; see exec/executor.cc.
-  bool TimedOut(const Timer& timer) {
-    if (options_.timeout_ms <= 0) return false;
+  // Amortized wall-clock / cancellation / accounting check on probe + scan
+  // work; see exec/executor.cc.
+  bool TimedOut(const Timer& timer, size_t depth) {
+    if (options_.timeout_ms <= 0 && resources_ == nullptr) return false;
     if (++timeout_ticks_ < kTimeoutCheckInterval) return false;
     timeout_ticks_ = 0;
-    if (timer.ElapsedMs() > options_.timeout_ms) {
+    if (resources_ != nullptr) {
+      resources_->Publish(probes_, scanned_, rows_produced_, 0,
+                          static_cast<uint32_t>(depth));
+      if (resources_->cancel_requested()) {
+        resources_->NoteCancelObserved();
+        table_.timed_out = true;
+        table_.cancelled = true;
+        return true;
+      }
+    }
+    if (options_.timeout_ms > 0 && timer.ElapsedMs() > options_.timeout_ms) {
       table_.timed_out = true;
       return true;
     }
@@ -112,12 +128,12 @@ class SelectEvaluator {
 
     ++probes_;
     if (trace_ != nullptr) ++trace_->step_probes[depth];
-    if (TimedOut(timer)) return;
+    if (TimedOut(timer, depth)) return;
 
     for (const rdf::Triple& t : graph_.Match(s, p, o)) {
       ++scanned_;
       if (trace_ != nullptr) ++trace_->step_rows_scanned[depth];
-      if (TimedOut(timer)) break;
+      if (TimedOut(timer, depth)) break;
       if (vs && vp && *vs == *vp && t.s != t.p) continue;
       if (vs && vo && *vs == *vo && t.s != t.o) continue;
       if (vp && vo && *vp == *vo && t.p != t.o) continue;
@@ -164,6 +180,7 @@ class SelectEvaluator {
   const std::vector<uint32_t>& order_;
   const ExecOptions& options_;
   obs::ExecTrace* trace_;
+  obs::ResourceTracker* resources_;
   uint64_t probes_ = 0;
   uint64_t scanned_ = 0;
   uint32_t timeout_ticks_ = 0;

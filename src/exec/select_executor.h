@@ -23,6 +23,9 @@ struct ResultTable {
   std::vector<std::vector<rdf::TermId>> rows;  // after all modifiers
   uint64_t bgp_matches = 0;  // BGP matches before filters/modifiers
   bool timed_out = false;
+  /// True when the abort was a served ResourceTracker cancellation (a
+  /// cancelled run also sets timed_out: both truncate execution).
+  bool cancelled = false;
   double elapsed_ms = 0;
 
   /// Renders the table (up to max_rows rows) for terminal output.

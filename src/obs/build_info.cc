@@ -1,0 +1,72 @@
+#include "obs/build_info.h"
+
+#include "obs/metrics.h"
+
+namespace shapestats::obs {
+
+namespace {
+
+#if defined(__has_feature)
+#define SHAPESTATS_HAS_FEATURE(x) __has_feature(x)
+#else
+#define SHAPESTATS_HAS_FEATURE(x) 0
+#endif
+
+BuildInfo Compute() {
+  BuildInfo info;
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#endif
+  info.standard = std::to_string(__cplusplus);
+#if defined(SHAPESTATS_BUILD_TYPE)
+  info.build_type = SHAPESTATS_BUILD_TYPE;
+#endif
+#if defined(SHAPESTATS_CXX_FLAGS)
+  info.flags = SHAPESTATS_CXX_FLAGS;
+#endif
+#if defined(__SANITIZE_ADDRESS__) || SHAPESTATS_HAS_FEATURE(address_sanitizer)
+  info.sanitizers.push_back("address");
+#endif
+#if defined(__SANITIZE_THREAD__) || SHAPESTATS_HAS_FEATURE(thread_sanitizer)
+  info.sanitizers.push_back("thread");
+#endif
+#if SHAPESTATS_HAS_FEATURE(memory_sanitizer)
+  info.sanitizers.push_back("memory");
+#endif
+  // UBSan has no compiler macro; fall back to the injected flags string.
+  if (info.flags.find("undefined") != std::string::npos) {
+    info.sanitizers.push_back("undefined");
+  }
+  info.timestamp = __DATE__ " " __TIME__;
+  return info;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* info = new BuildInfo(Compute());
+  return *info;
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "{\"compiler\":\"" + JsonEscape(info.compiler) + "\"";
+  out += ",\"standard\":\"" + JsonEscape(info.standard) + "\"";
+  if (!info.build_type.empty()) {
+    out += ",\"build_type\":\"" + JsonEscape(info.build_type) + "\"";
+  }
+  if (!info.flags.empty()) {
+    out += ",\"flags\":\"" + JsonEscape(info.flags) + "\"";
+  }
+  out += ",\"sanitizers\":[";
+  for (size_t i = 0; i < info.sanitizers.size(); ++i) {
+    if (i) out += ",";
+    out += "\"";
+    out += JsonEscape(info.sanitizers[i]);
+    out += "\"";
+  }
+  out += "],\"build_timestamp\":\"" + JsonEscape(info.timestamp) + "\"}";
+  return out;
+}
+
+}  // namespace shapestats::obs

@@ -1,0 +1,27 @@
+// Build provenance for debugging artifacts: compiler, flags, sanitizer
+// configuration, and build timestamp. Served at GET /debug/build and
+// embedded in every flight-recorder bundle so a captured anomaly is
+// attributable to the exact binary that produced it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shapestats::obs {
+
+struct BuildInfo {
+  std::string compiler;    // __VERSION__
+  std::string standard;    // __cplusplus value
+  std::string build_type;  // CMAKE_BUILD_TYPE ("" when not injected)
+  std::string flags;       // CMAKE_CXX_FLAGS ("" when not injected)
+  std::vector<std::string> sanitizers;  // "address" | "thread" | ...
+  std::string timestamp;   // __DATE__ __TIME__ of this translation unit
+};
+
+/// Process-wide build info (computed once).
+const BuildInfo& GetBuildInfo();
+
+/// `{"compiler":...,"sanitizers":[...],...}`.
+std::string BuildInfoJson();
+
+}  // namespace shapestats::obs

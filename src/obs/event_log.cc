@@ -87,6 +87,11 @@ void EventLog::Emit(Event event) {
     if (ring_.size() == capacity_) {
       ring_.pop_front();
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      // Exported so ring exhaustion is visible in /metrics, not only via
+      // the in-process dropped() accessor.
+      static Counter* dropped_events =
+          MetricsRegistry::Global().GetCounter("events.dropped");
+      dropped_events->Add();
     }
     ring_.push_back(event);
     subs.reserve(subscribers_.size());

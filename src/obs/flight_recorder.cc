@@ -1,0 +1,108 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/process_clock.h"
+
+namespace shapestats::obs {
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder(OptionsFromEnv());
+  return *recorder;
+}
+
+FlightRecorder::Options FlightRecorder::OptionsFromEnv() {
+  Options opts;
+  if (const char* dir = std::getenv("SHAPESTATS_FLIGHT_DIR");
+      dir != nullptr && *dir != '\0') {
+    opts.dir = dir;
+    // A configured directory implies the operator wants anomaly capture;
+    // default the latency trigger on so slow queries land without a second
+    // variable.
+    opts.slow_ms = 1000;
+  }
+  if (const char* slow = std::getenv("SHAPESTATS_FLIGHT_SLOW_MS");
+      slow != nullptr && *slow != '\0') {
+    opts.slow_ms = std::atof(slow);
+  }
+  if (const char* qerr = std::getenv("SHAPESTATS_FLIGHT_QERROR");
+      qerr != nullptr && *qerr != '\0') {
+    opts.max_q_error = std::atof(qerr);
+  }
+  return opts;
+}
+
+uint64_t FlightRecorder::Record(const std::string& trigger,
+                                std::string bundle_json) {
+  static Counter* bundles =
+      MetricsRegistry::Global().GetCounter("flight.bundles");
+  FlightBundle bundle;
+  bundle.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  bundle.trigger = trigger;
+  bundle.ts_ms = MonotonicMs();
+  bundle.json = std::move(bundle_json);
+  if (!options_.dir.empty()) {
+    char name[96];
+    std::snprintf(name, sizeof(name), "/flight_%06llu_%s.json",
+                  static_cast<unsigned long long>(bundle.id),
+                  trigger.c_str());
+    bundle.file = options_.dir + name;
+    std::ofstream out(bundle.file, std::ios::trunc);
+    if (out) {
+      out << bundle.json << "\n";
+    } else {
+      bundle.file.clear();  // ring-only when the directory is unwritable
+    }
+  }
+  bundles->Add();
+  MetricsRegistry::Global().Add("flight.trigger." + trigger);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  EventLog& log = EventLog::Global();
+  if (log.active()) {
+    Event ev("flight.bundle");
+    ev.Uint("bundle_id", bundle.id).Str("trigger", trigger);
+    if (!bundle.file.empty()) ev.Str("file", bundle.file);
+    log.Emit(std::move(ev));
+  }
+  util::MutexLock lock(mu_);
+  if (ring_.size() >= options_.capacity) ring_.pop_front();
+  ring_.push_back(std::move(bundle));
+  return ring_.back().id;
+}
+
+std::vector<FlightBundle> FlightRecorder::Bundles(size_t max) const {
+  std::vector<FlightBundle> out;
+  util::MutexLock lock(mu_);
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (max != 0 && out.size() >= max) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::string FlightRecorder::ToJson(size_t max) const {
+  std::string out =
+      "{\"recorded\":" + std::to_string(recorded_total()) + ",\"bundles\":[";
+  std::vector<FlightBundle> bundles = Bundles(max);
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    const FlightBundle& b = bundles[i];
+    if (i) out += ",";
+    char ts[32];
+    std::snprintf(ts, sizeof(ts), "%.3f", b.ts_ms);
+    out += "{\"id\":" + std::to_string(b.id) + ",\"trigger\":\"" +
+           JsonEscape(b.trigger) + "\",\"ts_ms\":" + ts;
+    if (!b.file.empty()) out += ",\"file\":\"" + JsonEscape(b.file) + "\"";
+    out += ",\"bundle\":" + b.json + "}";
+  }
+  return out + "]}";
+}
+
+}  // namespace shapestats::obs

@@ -1,0 +1,86 @@
+// Flight recorder: anomaly capture for the introspection plane
+// (DESIGN.md §12). When a query trips a trigger — latency over threshold,
+// per-step q-error over threshold, admission shed, static-check violation,
+// or cooperative cancellation — the engine (or server) assembles a
+// self-contained JSON bundle (query text, plan + physical operators +
+// rationale, per-step est/true/resources, cache and feedback state, build
+// info) and hands it here. Bundles land in a bounded in-memory ring
+// (served at GET /debug/flightrecorder) and, when a directory is
+// configured, as one JSON file each under SHAPESTATS_FLIGHT_DIR.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace shapestats::obs {
+
+struct FlightBundle {
+  uint64_t id = 0;
+  std::string trigger;  // slow | qerror | shed | static-violation | cancelled
+  double ts_ms = 0;     // process clock at capture
+  std::string json;     // the self-contained bundle
+  std::string file;     // on-disk path ("" when no directory is configured)
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Directory bundles are written into ("" = ring only). Must exist.
+    std::string dir;
+    /// Latency trigger threshold in ms; < 0 disables the trigger.
+    double slow_ms = -1;
+    /// Max per-step q-error trigger threshold; <= 0 disables the trigger.
+    double max_q_error = -1;
+    /// Bundle ring capacity.
+    size_t capacity = 64;
+  };
+
+  FlightRecorder() : FlightRecorder(Options()) {}
+  explicit FlightRecorder(Options options);
+
+  /// Process-wide instance, configured once from the environment:
+  /// SHAPESTATS_FLIGHT_DIR (directory, enables file dumps and defaults the
+  /// latency trigger to 1000 ms when unset), SHAPESTATS_FLIGHT_SLOW_MS,
+  /// SHAPESTATS_FLIGHT_QERROR.
+  static FlightRecorder& Global();
+
+  /// Reads Options from the environment (exposed for tests).
+  static Options OptionsFromEnv();
+
+  const Options& options() const { return options_; }
+  /// True when any trigger can fire — callers skip bundle assembly
+  /// entirely otherwise, so an unconfigured recorder costs one branch.
+  bool active() const {
+    return options_.slow_ms >= 0 || options_.max_q_error > 0 ||
+           !options_.dir.empty();
+  }
+  double slow_ms() const { return options_.slow_ms; }
+  double max_q_error() const { return options_.max_q_error; }
+
+  /// Records one bundle: appends it to the ring, writes the file when a
+  /// directory is configured, and bumps flight.* metrics. Returns the
+  /// bundle id.
+  uint64_t Record(const std::string& trigger, std::string bundle_json);
+
+  /// Newest-first copy of the ring (`max` 0 = all).
+  std::vector<FlightBundle> Bundles(size_t max = 0) const;
+  uint64_t recorded_total() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  /// `{"recorded":N,"bundles":[...]}` newest-first, capped at `max`.
+  std::string ToJson(size_t max = 16) const;
+
+ private:
+  Options options_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> recorded_{0};
+  mutable util::Mutex mu_;
+  std::deque<FlightBundle> ring_ SHAPESTATS_GUARDED_BY(mu_);
+};
+
+}  // namespace shapestats::obs

@@ -1,0 +1,310 @@
+#include "obs/query_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/process_clock.h"
+
+namespace shapestats::obs {
+
+/// Shared state of one in-flight query. Immutable identity fields are set
+/// at registration; the planner-written fields are guarded by `mu`; the
+/// tracker is atomically updated by the executor.
+struct LiveQuery {
+  uint64_t id = 0;
+  uint64_t request_id = 0;
+  uint64_t batch_id = 0;
+  uint32_t slot = 0;
+  double started_ms = 0;
+  std::string query;
+  mutable util::Mutex mu;
+  std::string cache_template SHAPESTATS_GUARDED_BY(mu);
+  std::string phase SHAPESTATS_GUARDED_BY(mu);
+  uint64_t steps_total SHAPESTATS_GUARDED_BY(mu) = 0;
+  bool completed SHAPESTATS_GUARDED_BY(mu) = false;
+  ResourceTracker tracker;
+};
+
+namespace {
+
+QueryRecord Freeze(const LiveQuery& q, double now_ms) {
+  QueryRecord r;
+  r.id = q.id;
+  r.request_id = q.request_id;
+  r.batch_id = q.batch_id;
+  r.slot = q.slot;
+  r.query = q.query;
+  {
+    util::MutexLock lock(q.mu);
+    r.cache_template = q.cache_template;
+    r.phase = q.phase;
+    r.steps_total = q.steps_total;
+  }
+  r.resources = q.tracker.Snapshot();
+  r.steps_completed = q.tracker.current_step();
+  r.rows_produced = r.resources.rows_produced;
+  r.started_ms = q.started_ms;
+  r.elapsed_ms = now_ms - q.started_ms;
+  return r;
+}
+
+}  // namespace
+
+std::string QueryRecord::ToJson() const {
+  std::string out = "{\"id\":" + std::to_string(id);
+  if (request_id != 0) out += ",\"request_id\":" + std::to_string(request_id);
+  if (batch_id != 0) {
+    out += ",\"batch_id\":" + std::to_string(batch_id) +
+           ",\"slot\":" + std::to_string(slot);
+  }
+  out += ",\"query\":\"" + JsonEscape(query) + "\"";
+  if (!cache_template.empty()) {
+    out += ",\"template\":\"" + JsonEscape(cache_template) + "\"";
+  }
+  out += ",\"phase\":\"" + JsonEscape(phase) + "\"";
+  if (!outcome.empty()) out += ",\"outcome\":\"" + JsonEscape(outcome) + "\"";
+  out += ",\"steps_completed\":" + std::to_string(steps_completed) +
+         ",\"steps_total\":" + std::to_string(steps_total) +
+         ",\"rows_produced\":" + std::to_string(rows_produced);
+  if (!outcome.empty()) {
+    out += ",\"num_results\":" + std::to_string(num_results);
+  }
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", elapsed_ms);
+  out += ",\"elapsed_ms\":" + std::string(ms);
+  out += ",\"resources\":" + resources.ToJson();
+  return out + "}";
+}
+
+QueryRegistry::QueryRegistry(Options options) : options_(options) {}
+
+QueryRegistry& QueryRegistry::Global() {
+  static QueryRegistry* registry = new QueryRegistry();
+  return *registry;
+}
+
+bool QueryRegistry::EnabledByEnv() {
+  const char* env = std::getenv("SHAPESTATS_REGISTRY");
+  if (env == nullptr || *env == '\0') return true;
+  const std::string_view v(env);
+  return v != "0" && v != "off" && v != "false" && v != "no";
+}
+
+// ---------------------------------------------------------------------------
+// Registration
+
+uint64_t QueryRegistry::Registration::id() const {
+  return rec_ != nullptr ? rec_->id : 0;
+}
+
+ResourceTracker* QueryRegistry::Registration::tracker() const {
+  return rec_ != nullptr ? &rec_->tracker : nullptr;
+}
+
+void QueryRegistry::Registration::SetPhase(const char* phase) {
+  if (rec_ == nullptr) return;
+  util::MutexLock lock(rec_->mu);
+  rec_->phase = phase;
+}
+
+void QueryRegistry::Registration::SetTemplate(
+    const std::string& cache_template) {
+  if (rec_ == nullptr) return;
+  util::MutexLock lock(rec_->mu);
+  rec_->cache_template = cache_template;
+}
+
+void QueryRegistry::Registration::SetStepsTotal(uint64_t steps) {
+  if (rec_ == nullptr) return;
+  util::MutexLock lock(rec_->mu);
+  rec_->steps_total = steps;
+}
+
+void QueryRegistry::Registration::Complete(const char* outcome,
+                                           uint64_t num_results) {
+  if (rec_ == nullptr || registry_ == nullptr) return;
+  registry_->CompleteRecord(rec_, outcome, num_results);
+  rec_.reset();
+  registry_ = nullptr;
+}
+
+void QueryRegistry::Registration::Finalize(const char* outcome) {
+  if (rec_ != nullptr) Complete(outcome, 0);
+}
+
+// ---------------------------------------------------------------------------
+// QueryRegistry
+
+QueryRegistry::Registration QueryRegistry::Register(std::string query,
+                                                    uint64_t request_id,
+                                                    uint64_t batch_id,
+                                                    uint32_t slot) {
+  static Gauge* inflight_gauge =
+      MetricsRegistry::Global().GetGauge("registry.inflight");
+  auto rec = std::make_shared<LiveQuery>();
+  rec->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  rec->request_id = request_id;
+  rec->batch_id = batch_id;
+  rec->slot = slot;
+  rec->started_ms = MonotonicMs();
+  if (query.size() > kMaxQueryBytes) query.resize(kMaxQueryBytes);
+  rec->query = std::move(query);
+  {
+    util::MutexLock lock(rec->mu);
+    rec->phase = "parse";
+  }
+  Shard& shard = ShardFor(rec->id);
+  {
+    util::MutexLock lock(shard.mu);
+    shard.live.emplace(rec->id, rec);
+  }
+  registered_.fetch_add(1, std::memory_order_relaxed);
+  inflight_gauge->Add(1);
+  Registration reg;
+  reg.registry_ = this;
+  reg.rec_ = std::move(rec);
+  return reg;
+}
+
+void QueryRegistry::CompleteRecord(const std::shared_ptr<LiveQuery>& rec,
+                                   const char* outcome,
+                                   uint64_t num_results) {
+  static Gauge* inflight_gauge =
+      MetricsRegistry::Global().GetGauge("registry.inflight");
+  static Counter* completed_counter =
+      MetricsRegistry::Global().GetCounter("registry.completed");
+  {
+    util::MutexLock lock(rec->mu);
+    if (rec->completed) return;
+    rec->completed = true;
+  }
+  Shard& shard = ShardFor(rec->id);
+  {
+    util::MutexLock lock(shard.mu);
+    shard.live.erase(rec->id);
+  }
+  inflight_gauge->Add(-1);
+  completed_counter->Add();
+
+  QueryRecord frozen = Freeze(*rec, MonotonicMs());
+  frozen.phase = "done";
+  frozen.outcome = outcome;
+  frozen.num_results = num_results;
+  // The executor reports 0-based current step; a finished query completed
+  // every step of its plan.
+  frozen.steps_completed = frozen.steps_total;
+
+  util::MutexLock lock(done_mu_);
+  const std::string key =
+      frozen.cache_template.empty() ? "(uncached)" : frozen.cache_template;
+  auto it = by_template_.find(key);
+  if (it == by_template_.end()) {
+    if (by_template_.size() >= options_.max_templates) {
+      it = by_template_.try_emplace("(other)").first;
+      it->second.cache_template = "(other)";
+    } else {
+      it = by_template_.try_emplace(key).first;
+      it->second.cache_template = key;
+    }
+  }
+  it->second.executions += 1;
+  it->second.rows_produced += frozen.rows_produced;
+  it->second.num_results += num_results;
+  it->second.total_ms += frozen.elapsed_ms;
+
+  if (completed_.size() >= options_.completed_capacity) completed_.pop_front();
+  completed_.push_back(std::move(frozen));
+}
+
+bool QueryRegistry::Cancel(uint64_t id) {
+  static Counter* cancels =
+      MetricsRegistry::Global().GetCounter("registry.cancels");
+  std::shared_ptr<LiveQuery> rec;
+  {
+    const Shard& shard = ShardFor(id);
+    util::MutexLock lock(shard.mu);
+    auto it = shard.live.find(id);
+    if (it == shard.live.end()) return false;
+    rec = it->second;
+  }
+  rec->tracker.RequestCancel();
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  cancels->Add();
+  return true;
+}
+
+size_t QueryRegistry::NumInflight() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    n += shard.live.size();
+  }
+  return n;
+}
+
+std::vector<QueryRecord> QueryRegistry::Inflight() const {
+  const double now = MonotonicMs();
+  std::vector<QueryRecord> out;
+  for (const Shard& shard : shards_) {
+    util::MutexLock lock(shard.mu);
+    for (const auto& [id, rec] : shard.live) out.push_back(Freeze(*rec, now));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryRecord& a, const QueryRecord& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<QueryRecord> QueryRegistry::Completed(size_t max) const {
+  std::vector<QueryRecord> out;
+  util::MutexLock lock(done_mu_);
+  for (auto it = completed_.rbegin(); it != completed_.rend(); ++it) {
+    if (max != 0 && out.size() >= max) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::vector<TemplateStats> QueryRegistry::TopTemplates(size_t n) const {
+  std::vector<TemplateStats> out;
+  {
+    util::MutexLock lock(done_mu_);
+    out.reserve(by_template_.size());
+    for (const auto& [key, stats] : by_template_) out.push_back(stats);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TemplateStats& a, const TemplateStats& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              if (a.executions != b.executions) {
+                return a.executions > b.executions;
+              }
+              return a.cache_template < b.cache_template;
+            });
+  if (n != 0 && out.size() > n) out.resize(n);
+  return out;
+}
+
+std::string QueryRegistry::ToJson(size_t completed_max) const {
+  std::string out = "{\"inflight\":[";
+  std::vector<QueryRecord> live = Inflight();
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (i) out += ",";
+    out += live[i].ToJson();
+  }
+  out += "],\"completed\":[";
+  std::vector<QueryRecord> done = Completed(completed_max);
+  for (size_t i = 0; i < done.size(); ++i) {
+    if (i) out += ",";
+    out += done[i].ToJson();
+  }
+  out += "],\"registered\":" + std::to_string(registered_total()) +
+         ",\"cancel_requests\":" + std::to_string(cancelled_total()) + "}";
+  return out;
+}
+
+}  // namespace shapestats::obs

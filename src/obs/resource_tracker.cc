@@ -1,0 +1,31 @@
+#include "obs/resource_tracker.h"
+
+#include "util/string_util.h"
+
+namespace shapestats::obs {
+
+std::string ResourceSnapshot::ToJson() const {
+  return "{\"index_probes\":" + std::to_string(index_probes) +
+         ",\"rows_scanned\":" + std::to_string(rows_scanned) +
+         ",\"rows_produced\":" + std::to_string(rows_produced) +
+         ",\"rows_materialized\":" + std::to_string(rows_materialized) +
+         ",\"build_bytes\":" + std::to_string(build_bytes) +
+         ",\"current_bytes\":" + std::to_string(current_bytes) +
+         ",\"peak_bytes\":" + std::to_string(peak_bytes) + "}";
+}
+
+std::string ResourceSnapshot::ToText() const {
+  std::string out = WithCommas(index_probes) + " probes, " +
+                    WithCommas(rows_scanned) + " rows scanned, " +
+                    WithCommas(rows_produced) + " produced";
+  if (rows_materialized > 0) {
+    out += ", " + WithCommas(rows_materialized) + " materialized";
+  }
+  if (build_bytes > 0 || peak_bytes > 0) {
+    out += ", " + WithCommas(build_bytes) + " B built, peak " +
+           WithCommas(peak_bytes) + " B";
+  }
+  return out;
+}
+
+}  // namespace shapestats::obs

@@ -103,8 +103,10 @@ std::string QueryTrace::ToJson() const {
   out += ",\"true_cost\":" + std::to_string(true_total_cost) +
          ",\"rows_scanned\":" + std::to_string(exec.total_rows_scanned) +
          ",\"index_probes\":" + std::to_string(exec.total_probes) +
-         ",\"timed_out\":" + (timed_out ? "true" : "false") +
-         ",\"total_ms\":" + FmtMs(total_ms) + "}";
+         ",\"timed_out\":" + (timed_out ? "true" : "false");
+  if (cancelled) out += ",\"cancelled\":true";
+  out += ",\"total_ms\":" + FmtMs(total_ms) + "}";
+  if (has_resources) out += ",\"resources\":" + resources.ToJson();
   out += "}";
   return out;
 }
@@ -152,8 +154,13 @@ std::string QueryTrace::ToTable() const {
   if (planner.cartesian_steps > 0) {
     out += ", " + std::to_string(planner.cartesian_steps) + " cartesian step(s)";
   }
-  if (timed_out) out += " [TIMED OUT]";
+  if (cancelled) {
+    out += " [CANCELLED]";
+  } else if (timed_out) {
+    out += " [TIMED OUT]";
+  }
   out += " (" + FmtMs(total_ms) + " ms)\n";
+  if (has_resources) out += "resources: " + resources.ToText() + "\n";
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/resource_tracker.h"
 #include "util/timer.h"
 
 namespace shapestats::obs {
@@ -92,7 +93,14 @@ struct QueryTrace {
   double est_total_cost = 0;   // sum of estimated step cardinalities
   uint64_t true_total_cost = 0;  // sum of true step cardinalities
   bool timed_out = false;
+  /// True when the abort was a served cooperative cancellation.
+  bool cancelled = false;
   double total_ms = 0;
+  /// Final resource-tracker snapshot (probes, scans, materialized rows,
+  /// build bytes, peak memory). Only rendered when `has_resources` is set,
+  /// so traces from untracked executions are byte-identical to before.
+  ResourceSnapshot resources;
+  bool has_resources = false;
 
   void AddPhase(const std::string& name, double ms) { phases.push_back({name, ms}); }
   /// Time of a named phase; -1 when the phase was not recorded.

@@ -11,6 +11,7 @@
 
 #include "exec/filter_eval.h"
 #include "obs/metrics.h"
+#include "obs/resource_tracker.h"
 #include "util/timer.h"
 
 namespace shapestats::phys {
@@ -77,6 +78,14 @@ std::span<const Triple> MergeRightSpan(const rdf::Graph& g,
 
 class PhysEvaluator {
  public:
+  // Materialization state (binding tables, match-pair staging, sort
+  // indexes) is allocated through a CountingAllocator charging the query's
+  // MemoryAccount, so build bytes and the peak per-query footprint are
+  // measured where they are spent. A null account makes the allocator a
+  // passthrough; the container types never change.
+  template <typename T>
+  using Counted = std::vector<T, obs::CountingAllocator<T>>;
+
   PhysEvaluator(const rdf::Graph& graph, const ParsedQuery* query,
                 const EncodedBgp& bgp, const PhysicalPlan& pplan,
                 const exec::ExecOptions& options)
@@ -86,7 +95,12 @@ class PhysEvaluator {
         pplan_(pplan),
         options_(options),
         trace_(options.trace),
+        resources_(options.resources),
+        account_(options.resources != nullptr ? &options.resources->memory()
+                                              : nullptr),
         width_(bgp.NumVars()),
+        rows_(obs::CountingAllocator<TermId>(account_)),
+        next_rows_(obs::CountingAllocator<TermId>(account_)),
         prefix_bound_(bgp.NumVars(), false),
         produced_(pplan.steps.size(), 0) {
     order_.reserve(pplan.steps.size());
@@ -108,6 +122,7 @@ class PhysEvaluator {
     res.step_cards = produced_;
     res.num_results = produced_.empty() ? 0 : produced_.back();
     res.timed_out = timed_out_;
+    res.cancelled = cancelled_;
     res.elapsed_ms = timer.ElapsedMs();
     Finish();
     return res;
@@ -138,6 +153,7 @@ class PhysEvaluator {
     RETURN_NOT_OK(exec::ApplyModifiers(*query_, graph_.dict(), &table.rows,
                                        &order_keys));
     table.timed_out = timed_out_;
+    table.cancelled = cancelled_;
     table.elapsed_ms = timer.ElapsedMs();
     Finish();
     return table;
@@ -166,6 +182,7 @@ class PhysEvaluator {
   }
 
   void Step(size_t k, const Timer& timer) {
+    cur_step_ = static_cast<uint32_t>(k);
     const PhysicalStep& st = pplan_.steps[k];
     const EncodedPattern& tp = bgp_.patterns[st.pattern];
     next_rows_.clear();
@@ -255,7 +272,7 @@ class PhysEvaluator {
     if (Tick(timer)) return;
 
     // Iterate left rows in ascending join-value order; ties keep row order.
-    std::vector<uint32_t> idx;
+    Counted<uint32_t> idx{obs::CountingAllocator<uint32_t>(account_)};
     if (!sorted) {
       idx.resize(num_rows_);
       std::iota(idx.begin(), idx.end(), 0u);
@@ -269,7 +286,7 @@ class PhysEvaluator {
 
     const Triple* base = run.data();
     const size_t n = run.size();
-    std::vector<MatchPair> pairs;
+    Counted<MatchPair> pairs{obs::CountingAllocator<MatchPair>(account_)};
     size_t lo = 0, hi = 0;
     TermId cur = rdf::kInvalidTermId;
     bool have_group = false;
@@ -330,8 +347,18 @@ class PhysEvaluator {
     // Buckets hold indexes in insertion order (span order / row order), so
     // the pair set — and after the canonical sort, the output — is fully
     // deterministic regardless of hash-table iteration order.
-    std::vector<MatchPair> pairs;
+    //
+    // The hash tables are charged as a per-entry estimate (key + bucket
+    // vector header + node pointer + one index slot) scoped to the build:
+    // std::unordered_map has no allocator hook comparable to the binding
+    // tables', and the estimate keeps build-side bytes visible in the
+    // account at the moment they matter — during the join.
+    constexpr size_t kHtEntryBytes = sizeof(TermId) +
+                                     sizeof(std::vector<uint32_t>) +
+                                     sizeof(void*) + sizeof(uint32_t);
+    Counted<MatchPair> pairs{obs::CountingAllocator<MatchPair>(account_)};
     if (st.build_right) {
+      obs::ScopedCharge ht_charge(account_, span.size() * kHtEntryBytes);
       std::unordered_map<TermId, std::vector<uint32_t>> ht;
       ht.reserve(span.size());
       for (size_t j = 0; j < span.size(); ++j) {
@@ -355,6 +382,7 @@ class PhysEvaluator {
         }
       }
     } else {
+      obs::ScopedCharge ht_charge(account_, num_rows_ * kHtEntryBytes);
       std::unordered_map<TermId, std::vector<uint32_t>> ht;
       ht.reserve(num_rows_);
       for (size_t i = 0; i < num_rows_; ++i) {
@@ -386,7 +414,7 @@ class PhysEvaluator {
   // constant or holds a prefix-bound variable; two distinct triples of one
   // pair group always differ on a free component, so the order is total.
   void NormalizeAndCommit(size_t k, const EncodedPattern& tp,
-                          std::vector<MatchPair>* pairs) {
+                          Counted<MatchPair>* pairs) {
     const bool sb = !tp.s.is_var() || prefix_bound_[tp.s.id];
     const bool pb = !tp.p.is_var() || prefix_bound_[tp.p.id];
     const bool ob = !tp.o.is_var() || prefix_bound_[tp.o.id];
@@ -515,14 +543,26 @@ class PhysEvaluator {
       return;
     }
     ++next_count_;
+    ++appended_rows_;
   }
 
-  // Amortized wall-clock check on probe + scan work; see exec/executor.cc.
+  // Amortized wall-clock / cancellation / accounting check on probe + scan
+  // work; see exec/executor.cc.
   bool Tick(const Timer& timer) {
-    if (options_.timeout_ms <= 0) return false;
+    if (options_.timeout_ms <= 0 && resources_ == nullptr) return false;
     if (++timeout_ticks_ < kTimeoutCheckInterval) return false;
     timeout_ticks_ = 0;
-    if (timer.ElapsedMs() > options_.timeout_ms) {
+    if (resources_ != nullptr) {
+      resources_->Publish(probes_, scanned_, rows_produced_total_,
+                          appended_rows_, cur_step_);
+      if (resources_->cancel_requested()) {
+        resources_->NoteCancelObserved();
+        timed_out_ = true;
+        cancelled_ = true;
+        return true;
+      }
+    }
+    if (options_.timeout_ms > 0 && timer.ElapsedMs() > options_.timeout_ms) {
       timed_out_ = true;
       return true;
     }
@@ -542,6 +582,10 @@ class PhysEvaluator {
       trace_->total_probes = probes_;
       trace_->total_rows_scanned = scanned_;
     }
+    if (resources_ != nullptr) {
+      resources_->Publish(probes_, scanned_, rows_produced_total_,
+                          appended_rows_, static_cast<uint32_t>(order_.size()));
+    }
     runs->Add();
     probe_counter->Add(probes_);
     scan_counter->Add(scanned_);
@@ -554,12 +598,14 @@ class PhysEvaluator {
   const PhysicalPlan& pplan_;
   const exec::ExecOptions& options_;
   obs::ExecTrace* trace_;
+  obs::ResourceTracker* resources_;
+  obs::MemoryAccount* account_;  // null when no tracker is attached
   const size_t width_;  // bindings per row (number of BGP variables)
 
   std::vector<uint32_t> order_;       // join order: steps[k].pattern
-  std::vector<TermId> rows_;          // current binding table, row-major
+  Counted<TermId> rows_;              // current binding table, row-major
   size_t num_rows_ = 0;
-  std::vector<TermId> next_rows_;     // next step's output table
+  Counted<TermId> next_rows_;         // next step's output table
   size_t next_count_ = 0;
   std::vector<bool> prefix_bound_;    // variables bound by steps 0..k-1
   std::vector<uint64_t> produced_;    // per-step true cardinality
@@ -567,10 +613,13 @@ class PhysEvaluator {
   exec::SelectShape shape_;  // select mode only
   exec::FilterPlan filters_;
   uint64_t rows_produced_total_ = 0;
+  uint64_t appended_rows_ = 0;  // rows materialized into binding tables
   uint64_t probes_ = 0;
   uint64_t scanned_ = 0;
   uint32_t timeout_ticks_ = 0;
+  uint32_t cur_step_ = 0;
   bool timed_out_ = false;
+  bool cancelled_ = false;
 };
 
 Status ValidatePhysical(const rdf::Graph& graph, const EncodedBgp& bgp,

@@ -177,6 +177,10 @@ void HttpServer::Handle(std::string path, Handler handler) {
   routes_.emplace_back(std::move(path), std::move(handler));
 }
 
+void HttpServer::HandlePrefix(std::string prefix, Handler handler) {
+  prefix_routes_.emplace_back(std::move(prefix), std::move(handler));
+}
+
 Status HttpServer::Start() {
   if (running_.load()) return Status::AlreadyExists("server already running");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -383,6 +387,17 @@ void HttpServer::ServeConnection(int fd) {
       if (path == req.path) {
         handler = &h;
         break;
+      }
+    }
+    if (handler == nullptr) {
+      // Longest matching prefix route (exact routes always win above).
+      size_t best = 0;
+      for (const auto& [prefix, h] : prefix_routes_) {
+        if (req.path.size() >= prefix.size() && prefix.size() > best &&
+            req.path.compare(0, prefix.size(), prefix) == 0) {
+          handler = &h;
+          best = prefix.size();
+        }
       }
     }
     if (handler == nullptr) {

@@ -103,6 +103,12 @@ class HttpServer {
   /// before Start().
   void Handle(std::string path, Handler handler);
 
+  /// Registers a handler for every path beginning with `prefix` (e.g.
+  /// "/debug/queries/" to serve "/debug/queries/<id>/cancel"). Exact-match
+  /// routes win over prefixes; among prefixes the longest match wins. Must
+  /// be called before Start().
+  void HandlePrefix(std::string prefix, Handler handler);
+
   /// Binds, listens, and spawns the acceptor + worker threads. Returns a
   /// Status instead of blocking; the server runs until Stop().
   Status Start();
@@ -134,6 +140,7 @@ class HttpServer {
 
   Options options_;
   std::vector<std::pair<std::string, Handler>> routes_;
+  std::vector<std::pair<std::string, Handler>> prefix_routes_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};

@@ -1,9 +1,12 @@
 #include "server/sparql_server.h"
 
+#include <charconv>
 #include <chrono>
 #include <cstdlib>
+#include <string_view>
 #include <utility>
 
+#include "obs/build_info.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -241,6 +244,18 @@ SparqlServer::SparqlServer(const engine::QueryEngine* engine,
         [this](const HttpRequest& req, uint64_t) { return HandleHealthz(req); });
   Route("/accuracy",
         [this](const HttpRequest& req, uint64_t) { return HandleAccuracy(req); });
+  Route("/debug/queries", [this](const HttpRequest& req, uint64_t) {
+    return HandleDebugQueries(req);
+  });
+  Route("/debug/queries/", [this](const HttpRequest& req, uint64_t) {
+    return HandleDebugCancel(req);
+  }, /*prefix=*/true);
+  Route("/debug/flightrecorder", [this](const HttpRequest& req, uint64_t) {
+    return HandleFlightRecorder(req);
+  });
+  Route("/debug/build", [this](const HttpRequest& req, uint64_t) {
+    return HandleDebugBuild(req);
+  });
 }
 
 SparqlServer::~SparqlServer() { Stop(); }
@@ -273,15 +288,16 @@ void SparqlServer::Stop() {
 
 void SparqlServer::Route(
     const std::string& path,
-    std::function<HttpResponse(const HttpRequest&, uint64_t request_id)> fn) {
+    std::function<HttpResponse(const HttpRequest&, uint64_t request_id)> fn,
+    bool prefix) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   obs::Counter* requests_total = reg.GetCounter("server.http.requests");
   obs::Counter* route_requests = reg.GetCounter("server.http.requests." + path);
   obs::Histogram* latency = reg.GetHistogram("server.latency_ms." + path);
   obs::Histogram* response_bytes = reg.GetHistogram("server.response_bytes." + path);
-  http_.Handle(path, [this, path, fn = std::move(fn), requests_total,
-                      route_requests, latency, response_bytes](
-                         const HttpRequest& req) {
+  HttpServer::Handler handler = [this, path, fn = std::move(fn), requests_total,
+                                 route_requests, latency, response_bytes](
+                                    const HttpRequest& req) {
     uint64_t request_id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
     requests_total->Add();
     route_requests->Add();
@@ -312,7 +328,12 @@ void SparqlServer::Route(
                    .Num("ms", ms));
     }
     return resp;
-  });
+  };
+  if (prefix) {
+    http_.HandlePrefix(path, std::move(handler));
+  } else {
+    http_.Handle(path, std::move(handler));
+  }
 }
 
 HttpResponse SparqlServer::HandleSparql(const HttpRequest& req,
@@ -380,6 +401,23 @@ HttpResponse SparqlServer::HandleSparql(const HttpRequest& req,
                    .Uint("request_id", request_id)
                    .Uint("inflight", static_cast<uint64_t>(admission_.inflight()))
                    .Uint("queued", static_cast<uint64_t>(admission_.queued())));
+    }
+    // A shed is an anomaly worth a flight-recorder bundle: the engine never
+    // sees the query, so the server assembles a minimal one (query text,
+    // admission state, build info) itself.
+    if (obs::FlightRecorder* fr = engine_->flight_recorder(); fr != nullptr) {
+      std::string bundle =
+          "{\"trigger\":\"shed\",\"request_id\":" + std::to_string(request_id) +
+          ",\"query\":" + JsonStr(query) +
+          ",\"admission\":{\"inflight\":" +
+          std::to_string(admission_.inflight()) +
+          ",\"queued\":" + std::to_string(admission_.queued()) +
+          ",\"shed_total\":" + std::to_string(admission_.shed_total()) +
+          ",\"max_inflight\":" +
+          std::to_string(admission_.options().max_inflight) +
+          ",\"queue_limit\":" + std::to_string(admission_.options().queue_limit) +
+          "},\"build\":" + obs::BuildInfoJson() + "}";
+      fr->Record("shed", std::move(bundle));
     }
     HttpResponse resp{503, "application/json",
                       JsonError("overloaded: concurrency cap and admission "
@@ -494,6 +532,68 @@ HttpResponse SparqlServer::HandleHealthz(const HttpRequest&) {
 
 HttpResponse SparqlServer::HandleAccuracy(const HttpRequest&) {
   return {200, "application/json", engine_->accuracy_ledger().ToJson() + "\n", {}};
+}
+
+HttpResponse SparqlServer::HandleDebugQueries(const HttpRequest&) {
+  obs::QueryRegistry* reg = engine_->query_registry();
+  if (reg == nullptr) {
+    return {404, "application/json",
+            JsonError("query registry disabled (SHAPESTATS_REGISTRY=0)"), {}};
+  }
+  return {200, "application/json", reg->ToJson() + "\n", {}};
+}
+
+HttpResponse SparqlServer::HandleDebugCancel(const HttpRequest& req) {
+  obs::QueryRegistry* reg = engine_->query_registry();
+  if (reg == nullptr) {
+    return {404, "application/json",
+            JsonError("query registry disabled (SHAPESTATS_REGISTRY=0)"), {}};
+  }
+  constexpr std::string_view kPrefix = "/debug/queries/";
+  std::string_view rest = std::string_view(req.path).substr(kPrefix.size());
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || rest.substr(slash) != "/cancel") {
+    return {404, "application/json",
+            JsonError("unknown debug path; expected /debug/queries/<id>/cancel"),
+            {}};
+  }
+  std::string_view id_str = rest.substr(0, slash);
+  uint64_t id = 0;
+  auto [ptr, ec] =
+      std::from_chars(id_str.data(), id_str.data() + id_str.size(), id);
+  if (ec != std::errc() || ptr != id_str.data() + id_str.size() || id == 0) {
+    return {400, "application/json", JsonError("invalid query id"), {}};
+  }
+  if (req.method != "POST") {
+    return {405, "application/json", JsonError("cancel requires POST"), {}};
+  }
+  bool cancelled = reg->Cancel(id);
+  obs::EventLog& log = obs::EventLog::Global();
+  if (log.active()) {
+    log.Emit(obs::Event("http.debug.cancel")
+                 .Uint("query_id", id)
+                 .Bool("ok", cancelled));
+  }
+  std::string body = std::string("{\"cancelled\":") +
+                     (cancelled ? "true" : "false") +
+                     ",\"id\":" + std::to_string(id) + "}\n";
+  return {cancelled ? 200 : 404, "application/json", std::move(body), {}};
+}
+
+HttpResponse SparqlServer::HandleFlightRecorder(const HttpRequest& req) {
+  obs::FlightRecorder* fr = engine_->flight_recorder();
+  // The global ring exists (empty) even when no trigger is configured, so
+  // the route never 404s; an unconfigured recorder reports zero bundles.
+  if (fr == nullptr) fr = &obs::FlightRecorder::Global();
+  size_t max = 16;
+  if (std::string p = req.Param("max"); !p.empty()) {
+    max = static_cast<size_t>(std::strtoull(p.c_str(), nullptr, 10));
+  }
+  return {200, "application/json", fr->ToJson(max) + "\n", {}};
+}
+
+HttpResponse SparqlServer::HandleDebugBuild(const HttpRequest&) {
+  return {200, "application/json", obs::BuildInfoJson() + "\n", {}};
 }
 
 }  // namespace shapestats::server

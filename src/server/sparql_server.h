@@ -13,6 +13,15 @@
 //   /accuracy  live obs::AccuracyLedger q-error percentiles as JSON.
 //   /explain   optimized plan dump without executing (debug).
 //
+// Introspection-plane routes (DESIGN.md §12):
+//
+//   /debug/queries            live + recently-completed queries from the
+//                             engine's obs::QueryRegistry as JSON.
+//   /debug/queries/<id>/cancel  POST: cooperative cancel; the executor
+//                             observes the flag on its next work tick.
+//   /debug/flightrecorder     newest-first ring of anomaly bundles.
+//   /debug/build              compiler, flags, sanitizers, build timestamp.
+//
 // Every request is stamped with a process-unique request id that is
 // threaded through the obs::EventLog (`http.request.start/finish`
 // correlated with the `batch.*`/`query.*` events the request caused via
@@ -140,12 +149,18 @@ class SparqlServer {
   HttpResponse HandleMetrics(const HttpRequest& req);
   HttpResponse HandleHealthz(const HttpRequest& req);
   HttpResponse HandleAccuracy(const HttpRequest& req);
+  HttpResponse HandleDebugQueries(const HttpRequest& req);
+  HttpResponse HandleDebugCancel(const HttpRequest& req);
+  HttpResponse HandleFlightRecorder(const HttpRequest& req);
+  HttpResponse HandleDebugBuild(const HttpRequest& req);
 
   /// Registers `path` wrapped with the common per-request instrumentation:
   /// request id allocation, http.request.* events, Chrome span, per-route
-  /// latency/result-size histograms and status counters.
+  /// latency/result-size histograms and status counters. `prefix` variants
+  /// match every path beginning with the string (longest prefix wins).
   void Route(const std::string& path,
-             std::function<HttpResponse(const HttpRequest&, uint64_t request_id)> fn);
+             std::function<HttpResponse(const HttpRequest&, uint64_t request_id)> fn,
+             bool prefix = false);
 
   const engine::QueryEngine* engine_;
   SparqlServerOptions options_;

@@ -13,7 +13,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -718,6 +720,122 @@ TEST_F(SparqlServerFixture, EventLogCorrelatesRequestIdsAcrossHttpAndBatch) {
     EXPECT_TRUE(stages.count("batch.query:" + batch_id));
     EXPECT_TRUE(stages.count("batch.finish:" + batch_id));
   }
+}
+
+// --- introspection-plane routes ---------------------------------------------
+
+ClientResponse Post(uint16_t port, const std::string& target) {
+  return Fetch(port, "POST " + target +
+                         " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                         "Content-Length: 0\r\n\r\n");
+}
+
+TEST_F(SparqlServerFixture, DebugBuildReportsToolchain) {
+  SparqlServer srv(engine_, ServerOptions());
+  ASSERT_TRUE(srv.Start().ok());
+  ClientResponse resp = Get(srv.port(), "/debug/build");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"standard\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"sanitizers\":["), std::string::npos);
+  EXPECT_NE(resp.body.find("\"build_timestamp\":"), std::string::npos);
+}
+
+TEST_F(SparqlServerFixture, DebugQueriesListsCompletedRequests) {
+  SparqlServer srv(engine_, ServerOptions());
+  ASSERT_TRUE(srv.Start().ok());
+  ASSERT_NE(engine_->query_registry(), nullptr)
+      << "fixture engine must run with the registry enabled";
+  ClientResponse run = Get(srv.port(), "/sparql?query=" + UrlEncode(kLubmQuery));
+  ASSERT_EQ(run.status, 200);
+  ClientResponse resp = Get(srv.port(), "/debug/queries");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"inflight\":["), std::string::npos);
+  EXPECT_NE(resp.body.find("\"completed\":[{"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(resp.body.find("\"resources\":{"), std::string::npos);
+  // The serving plane's request id is threaded into the registry record.
+  EXPECT_NE(resp.body.find("\"request_id\":" + run.Header("x-request-id")),
+            std::string::npos);
+}
+
+TEST_F(SparqlServerFixture, FlightRecorderRouteAnswersEvenWhenUnarmed) {
+  SparqlServer srv(engine_, ServerOptions());
+  ASSERT_TRUE(srv.Start().ok());
+  ClientResponse resp = Get(srv.port(), "/debug/flightrecorder");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"recorded\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"bundles\":["), std::string::npos);
+}
+
+TEST_F(SparqlServerFixture, DebugCancelValidatesPathIdAndMethod) {
+  SparqlServer srv(engine_, ServerOptions());
+  ASSERT_TRUE(srv.Start().ok());
+  // Unknown id: well-formed request, nothing live to cancel.
+  ClientResponse unknown = Post(srv.port(), "/debug/queries/999999999/cancel");
+  EXPECT_EQ(unknown.status, 404);
+  EXPECT_NE(unknown.body.find("\"cancelled\":false"), std::string::npos);
+  // GET on the cancel action is a method error, not a cancel.
+  ClientResponse get = Get(srv.port(), "/debug/queries/1/cancel");
+  EXPECT_EQ(get.status, 405);
+  // Malformed id and malformed action path.
+  EXPECT_EQ(Post(srv.port(), "/debug/queries/abc/cancel").status, 400);
+  EXPECT_EQ(Post(srv.port(), "/debug/queries/7/pause").status, 404);
+}
+
+// A long-running request is visible at /debug/queries while in flight, and
+// POST /debug/queries/<id>/cancel stops it within one executor work tick.
+TEST(SparqlServerIntrospectionTest, InflightQueryVisibleAndCancellable) {
+  datagen::LubmOptions lubm;
+  lubm.universities = 1;
+  engine::EngineOptions eopts;
+  eopts.registry = engine::EngineOptions::RegistryMode::kOn;
+  eopts.exec.timeout_ms = 60000;  // backstop so a missed cancel cannot hang CI
+  engine::QueryEngine eng =
+      std::move(engine::QueryEngine::Open(datagen::GenerateLubm(lubm), eopts))
+          .value();
+
+  SparqlServerOptions opts;
+  opts.http = TestHttpOptions(/*threads=*/4);
+  SparqlServer srv(&eng, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Cross-product COUNT: streams without materializing and cannot finish
+  // quickly, so the cancel below is what ends it.
+  const std::string slow_query =
+      "SELECT (COUNT(*) AS ?n) WHERE { ?a ?p ?o . ?b ?q ?r }";
+  std::thread runner([&]() {
+    ClientResponse resp =
+        Get(srv.port(), "/sparql?query=" + UrlEncode(slow_query));
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.Header("x-timed-out"), "true");
+  });
+
+  // Poll the debug route until the query shows up in flight, then pull its
+  // registry id out of the JSON.
+  uint64_t id = 0;
+  for (int spin = 0; spin < 10000 && id == 0; ++spin) {
+    ClientResponse dbg = Get(srv.port(), "/debug/queries");
+    ASSERT_EQ(dbg.status, 200);
+    size_t at = dbg.body.find("\"phase\":\"execute\"");
+    if (at != std::string::npos) {
+      size_t obj = dbg.body.rfind("{\"id\":", at);
+      ASSERT_NE(obj, std::string::npos);
+      id = std::strtoull(dbg.body.c_str() + obj + 6, nullptr, 10);
+    }
+    if (id == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(id, 0u) << "slow query never became visible at /debug/queries";
+
+  ClientResponse cancel =
+      Post(srv.port(), "/debug/queries/" + std::to_string(id) + "/cancel");
+  EXPECT_EQ(cancel.status, 200);
+  EXPECT_NE(cancel.body.find("\"cancelled\":true"), std::string::npos);
+  runner.join();
+
+  ClientResponse after = Get(srv.port(), "/debug/queries");
+  EXPECT_NE(after.body.find("\"outcome\":\"cancelled\""), std::string::npos);
+  srv.Stop();
 }
 
 }  // namespace

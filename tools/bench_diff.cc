@@ -17,6 +17,11 @@
 // Usage:
 //   bench_diff <baseline.json> <candidate.json>
 //       [--timing-max-ratio R] [--timing-min-ms M] [--counter-rel-tol T]
+//       [--update]
+//
+// --update rewrites the checked-in baseline from the candidate file (after
+// validating that the candidate parses) instead of comparing — the blessed
+// way to refresh a baseline after an intentional perf or digest change.
 //
 // Exit codes:
 //   0  no regressions
@@ -190,6 +195,7 @@ int main(int argc, char** argv) {
   double timing_max_ratio = 25.0;
   double timing_min_ms = 5.0;
   double counter_rel_tol = 0.01;
+  bool update = false;
   for (int i = 1; i < argc; ++i) {
     auto next_double = [&](double* out) {
       if (i + 1 >= argc) {
@@ -204,6 +210,8 @@ int main(int argc, char** argv) {
       next_double(&timing_min_ms);
     } else if (std::strcmp(argv[i], "--counter-rel-tol") == 0) {
       next_double(&counter_rel_tol);
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
     } else if (baseline_path == nullptr) {
       baseline_path = argv[i];
     } else if (candidate_path == nullptr) {
@@ -217,8 +225,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_diff <baseline.json> <candidate.json> "
                  "[--timing-max-ratio R] [--timing-min-ms M] "
-                 "[--counter-rel-tol T]\n");
+                 "[--counter-rel-tol T] [--update]\n");
     return 2;
+  }
+
+  if (update) {
+    // Validate the candidate before blessing it, then copy it byte-for-byte
+    // so the checked-in baseline is exactly what the bench emitted.
+    std::map<std::string, std::string> parsed;
+    if (!ReadFlatJson(candidate_path, "candidate", &parsed)) return 2;
+    std::ifstream in(candidate_path, std::ios::binary);
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench_diff: cannot write baseline file %s\n",
+                   baseline_path);
+      return 2;
+    }
+    out << in.rdbuf();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "bench_diff: short write updating %s\n",
+                   baseline_path);
+      return 2;
+    }
+    std::printf("bench_diff: baseline %s updated from %s (%zu keys)\n",
+                baseline_path, candidate_path, parsed.size());
+    return 0;
   }
 
   std::map<std::string, std::string> base, cand;
